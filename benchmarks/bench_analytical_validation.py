@@ -1,0 +1,53 @@
+"""E10 — analytical estimates vs cycle simulation (paper Sec. 2.3.3).
+
+The paper derives closed-form estimates of invalidation cost before
+simulating; this bench quantifies how our generalization of those
+estimates tracks the cycle-level simulator: message counts and traffic
+are exact, and the contention-free latency estimate sits within ~±10% at
+low degree, drifting below the simulation as hot-spot contention grows.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.analysis.experiments import (run_analytical_sweep,
+                                        run_invalidation_sweep)
+from repro.config import paper_parameters
+
+SCHEMES = ["ui-ua", "mi-ua-ec", "mi-ma-ec", "mi-ma-tm"]
+
+
+def test_analytical_validation(benchmark, scale):
+    params = paper_parameters(8)
+    degrees = [2, 8, 24]
+
+    def both():
+        sim = run_invalidation_sweep(SCHEMES, degrees, per_degree=5,
+                                     params=params, seed=23)
+        ana = run_analytical_sweep(SCHEMES, degrees, per_degree=5,
+                                   params=params, seed=23)
+        rows = []
+        for s, a in zip(sim, ana):
+            rows.append({
+                "scheme": s["scheme"], "degree": s["degree"],
+                "simulated": s["latency"], "analytical": a["latency"],
+                "error_pct": (a["latency"] - s["latency"])
+                             / s["latency"] * 100.0,
+                "msgs_match": s["messages"] == a["messages"],
+                "traffic_match": s["flit_hops"] == a["flit_hops"],
+            })
+        return rows
+
+    rows = run_once(benchmark, both)
+    print()
+    print(format_table(rows, title="E10: analytical model vs simulation"))
+    assert all(r["msgs_match"] for r in rows)
+    assert all(r["traffic_match"] for r in rows)
+    worst = max(abs(r["error_pct"]) for r in rows)
+    benchmark.extra_info["worst_latency_error_pct"] = worst
+    # Contention-free estimate: low-degree rows are tight, high-degree
+    # rows underestimate (bounded).
+    for r in rows:
+        if r["degree"] <= 2:
+            assert abs(r["error_pct"]) < 12, r
+        assert -40 < r["error_pct"] < 25, r

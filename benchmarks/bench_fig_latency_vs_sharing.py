@@ -1,0 +1,71 @@
+"""Figure E4 — invalidation latency vs degree of sharing.
+
+The paper's central figure: per-scheme invalidation latency as the
+number of sharers grows.  Expected shape (paper Sec. 5/6): UI-UA grows
+steepest (2d messages serialized at the home); MI-UA flattens the
+request phase; MI-MA flattens both phases and wins by an increasing
+factor at high degrees.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_invalidation_sweep
+from repro.config import paper_parameters
+
+SCHEMES = ["ui-ua", "mi-ua-ec", "mi-ua-tm", "ui-ma-ec", "mi-ma-ec",
+           "mi-ma-ec-u", "mi-ma-tm"]
+
+
+def test_fig_latency_vs_sharing(benchmark, scale):
+    width = 8 if scale == "ci" else 16
+    params = paper_parameters(width)
+    degrees = [1, 2, 4, 8, 16, min(32, params.num_nodes - 1)]
+    per = 5 if scale == "ci" else 10
+
+    rows = run_once(benchmark, lambda: run_invalidation_sweep(
+        SCHEMES, degrees, per_degree=per, params=params, seed=11))
+    print()
+    print(format_table(
+        rows, columns=["scheme", "degree", "latency", "messages",
+                       "home_occupancy"],
+        title=f"Fig E4: invalidation latency vs degree of sharing "
+              f"({width}x{width} mesh)"))
+    from repro.analysis.plotting import chart_from_rows
+    print()
+    print(chart_from_rows(
+        [r for r in rows if r["scheme"] in ("ui-ua", "mi-ua-ec",
+                                            "mi-ma-ec")],
+        x="degree", y="latency",
+        title="Fig E4 (chart): latency vs degree",
+        x_label="sharers", y_label="cycles"))
+
+    by = {(r["scheme"], r["degree"]): r for r in rows}
+    top = degrees[-1]
+    for scheme in SCHEMES:
+        benchmark.extra_info[f"{scheme}@d{top}"] = by[(scheme, top)]["latency"]
+    # Shape assertions.
+    #  - every scheme's latency grows with d;
+    for scheme in SCHEMES:
+        assert by[(scheme, top)]["latency"] > by[(scheme, 1)]["latency"]
+    #  - multidestination invalidation beats the baseline at high d;
+    assert by[("mi-ua-ec", top)]["latency"] < by[("ui-ua", top)]["latency"]
+    #  - the full MI-MA framework beats the baseline clearly; against
+    #    MI-UA its *latency* win needs dense columns (on large meshes
+    #    with uniform sharers, ~2 sharers/column, gather serialization
+    #    offsets the ack savings and the two tie) — its occupancy win
+    #    is unconditional (fig E5):
+    assert by[("mi-ma-ec", top)]["latency"] < by[("ui-ua", top)]["latency"]
+    assert by[("mi-ma-ec", top)]["latency"] \
+        <= by[("mi-ua-ec", top)]["latency"] * 1.05
+    assert by[("mi-ma-ec", top)]["home_occupancy"] \
+        < by[("mi-ua-ec", top)]["home_occupancy"] * 0.6
+    #  - at degree 1 the baseline is at least as good (crossover exists):
+    assert by[("ui-ua", 1)]["latency"] <= by[("mi-ma-ec", 1)]["latency"] * 1.05
+    #  - the winning factor at the top degree is substantial (paper
+    #    reports multi-x improvements at high sharing):
+    ratio = by[("ui-ua", top)]["latency"] / by[("mi-ma-ec", top)]["latency"]
+    benchmark.extra_info["ui_ua_over_mi_ma_at_top"] = ratio
+    # 8x8/d=32 gives ~1.55x; 16x16 with *uniform* sharers dilutes the
+    # column density and lands ~1.25x (clustered sharers and background
+    # load push it back up — figs E6 and E12).
+    assert ratio > (1.4 if scale == "ci" else 1.2)

@@ -1,0 +1,80 @@
+"""E15 — limited-pointer directories and broadcast invalidation.
+
+The paper situates itself against the Texas A&M framework [29], which
+accelerates *broadcast* invalidations issued when a limited directory's
+pointer array overflows [16].  With a Dir_i B directory, every overflow
+write triggers an (almost) machine-wide invalidation — the extreme
+degree of sharing where multidestination worms help most.  Expected
+shape: with few pointers the share of broadcasts grows and the UI-UA
+baseline pays 2(N-2) messages per overflow write, while the
+multidestination schemes flatten both messages and latency.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.config import paper_parameters
+from repro.coherence import DSMSystem
+from repro.sim import Simulator
+
+SCHEMES = ["ui-ua", "mi-ua-ec", "mi-ma-ec"]
+
+
+def _one(scheme: str, pointers, readers: int) -> dict:
+    params = paper_parameters(8)
+    sim = Simulator()
+    system = DSMSystem(sim, params, scheme, directory_pointers=pointers)
+    block = 30
+    nodes = [n for n in range(0, readers * 3, 3)
+             if n != system.home_of(block)][:readers]
+    accesses = [(r, "R", block) for r in nodes] + [(40, "W", block)]
+
+    def driver():
+        for node, op, b in accesses:
+            yield from system.access(node, op, b)
+
+    proc = sim.spawn(driver(), name="driver")
+    sim.run_until_event(proc.done, limit=50_000_000)
+    rec = system.engine.records[0]
+    return {
+        "pointers": "full-map" if pointers is None else pointers,
+        "scheme": scheme,
+        "targets": rec.sharers,
+        "messages": rec.total_messages,
+        "latency": rec.latency,
+        "broadcast": system.broadcast_invalidations > 0,
+    }
+
+
+def test_fig_limited_directory_broadcast(benchmark, scale):
+    readers = 12
+
+    def sweep():
+        rows = []
+        for pointers in (None, 4, 2):
+            for scheme in SCHEMES:
+                rows.append(_one(scheme, pointers, readers))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, title=f"E15: one write after {readers} "
+                                   f"readers, by directory type (8x8)"))
+    by = {(r["pointers"], r["scheme"]): r for r in rows}
+    # Full map invalidates exactly the readers; overflow broadcasts.
+    assert not by[("full-map", "ui-ua")]["broadcast"]
+    assert by[(2, "ui-ua")]["broadcast"]
+    assert by[(2, "ui-ua")]["targets"] > readers * 3
+    # Broadcast cost: the baseline pays ~2(N-2) messages; worms don't.
+    n = 64
+    assert by[(2, "ui-ua")]["messages"] == 2 * (n - 2)
+    assert by[(2, "mi-ua-ec")]["messages"] < 0.7 * 2 * (n - 2)
+    assert by[(2, "mi-ma-ec")]["messages"] < 0.35 * 2 * (n - 2)
+    # And the latency penalty of overflowing is far smaller with worms.
+    ui_penalty = by[(2, "ui-ua")]["latency"] \
+        / by[("full-map", "ui-ua")]["latency"]
+    mi_penalty = by[(2, "mi-ma-ec")]["latency"] \
+        / by[("full-map", "mi-ma-ec")]["latency"]
+    benchmark.extra_info["ui_ua_overflow_penalty"] = ui_penalty
+    benchmark.extra_info["mi_ma_overflow_penalty"] = mi_penalty
+    assert mi_penalty < ui_penalty

@@ -1,0 +1,74 @@
+"""E12 — invalidation latency under background network load.
+
+The hot-spot effect [47] compounds with load: UI-UA's 2d messages all
+cross the already-busy links around the home, while the multidestination
+schemes inject a handful of worms.  Expected shape: the UI-UA latency
+curve rises fastest with the background injection rate and the gap to
+MI-MA widens with load.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.config import paper_parameters
+from repro.core import InvalidationEngine, build_plan
+from repro.network import MeshNetwork
+from repro.sim import Simulator
+from repro.workloads.background import BackgroundTraffic, delivery_filter
+from repro.workloads.patterns import pattern_uniform
+
+SCHEMES = ["ui-ua", "mi-ua-ec", "mi-ma-ec"]
+
+
+def _measure(scheme: str, rate: float, degree: int, trials: int) -> float:
+    params = paper_parameters(8)
+    latencies = []
+    rng = np.random.default_rng(31)
+    for _ in range(trials):
+        sim = Simulator()
+        net = MeshNetwork(sim, params, "ecube")
+        engine = InvalidationEngine(sim, net, params)
+        net.on_deliver = delivery_filter(net.on_deliver)
+        bg = BackgroundTraffic(sim, net, rate, seed=77)
+        warm = sim.event("warm")
+        warm.schedule(1_500)
+        sim.run_until_event(warm)
+        pattern = pattern_uniform(net.mesh, degree, rng)
+        plan = build_plan(scheme, net.mesh, pattern.home, pattern.sharers)
+        latencies.append(engine.run(plan, limit=50_000_000).latency)
+        bg.stop()
+    return float(np.mean(latencies))
+
+
+def test_fig_invalidation_under_load(benchmark, scale):
+    degree = 16
+    rates = [0.0, 0.006, 0.012] if scale == "ci" else [0.0, 0.004, 0.008,
+                                                       0.012, 0.016]
+    trials = 3 if scale == "ci" else 6
+
+    def sweep():
+        rows = []
+        for rate in rates:
+            row = {"rate": f"{rate:.3f}"}
+            for scheme in SCHEMES:
+                row[scheme] = _measure(scheme, rate, degree, trials)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, title=f"E12: invalidation latency vs "
+                                   f"background load (degree {degree})"))
+    first, last = rows[0], rows[-1]
+    for scheme in SCHEMES:
+        benchmark.extra_info[f"{scheme}@max_load"] = last[scheme]
+        # Load hurts everyone...
+        assert last[scheme] > first[scheme]
+    # ...but the unicast baseline worst: the UI-UA/MI-MA gap widens.
+    gap_idle = first["ui-ua"] / first["mi-ma-ec"]
+    gap_loaded = last["ui-ua"] / last["mi-ma-ec"]
+    benchmark.extra_info["gap_idle"] = gap_idle
+    benchmark.extra_info["gap_loaded"] = gap_loaded
+    assert gap_loaded > gap_idle
+    assert last["mi-ma-ec"] < last["ui-ua"]

@@ -1,0 +1,51 @@
+"""Figure E5 — home-node occupancy vs degree of sharing.
+
+Occupancy is proportional to the messages the home sends plus receives
+[18].  Expected shape: UI-UA is 2d; MI-UA is g + d (g worms out, d
+unicast acks back); MI-MA is g + g' (worms out, gathered acks back) —
+nearly flat in d.  This is the paper's strongest argument: the home
+node stops being the hot-spot.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_invalidation_sweep
+from repro.config import paper_parameters
+
+SCHEMES = ["ui-ua", "mi-ua-ec", "ui-ma-ec", "mi-ma-ec", "mi-ma-tm"]
+
+
+def test_fig_home_occupancy(benchmark, scale):
+    width = 8 if scale == "ci" else 16
+    params = paper_parameters(width)
+    degrees = [2, 4, 8, 16, min(32, params.num_nodes - 1)]
+    rows = run_once(benchmark, lambda: run_invalidation_sweep(
+        SCHEMES, degrees, per_degree=6, params=params, seed=13))
+    print()
+    print(format_table(
+        rows, columns=["scheme", "degree", "home_occupancy", "messages"],
+        title="Fig E5: home-node occupancy (messages at home) vs degree"))
+    from repro.analysis.plotting import chart_from_rows
+    print()
+    print(chart_from_rows(
+        [r for r in rows if r["scheme"] in ("ui-ua", "mi-ua-ec",
+                                            "mi-ma-ec", "mi-ma-tm")],
+        x="degree", y="home_occupancy",
+        title="Fig E5 (chart): occupancy vs degree",
+        x_label="sharers", y_label="messages at home"))
+    by = {(r["scheme"], r["degree"]): r for r in rows}
+    top = degrees[-1]
+    # UI-UA occupancy == 2d exactly.
+    for d in degrees:
+        assert by[("ui-ua", d)]["home_occupancy"] == 2 * d
+    # MI-UA cuts the send side only: occupancy between d and 2d.
+    assert d < 2 * top
+    assert top < by[("mi-ua-ec", top)]["home_occupancy"] < 2 * top
+    # MI-MA occupancy is far below d at high degree.
+    assert by[("mi-ma-ec", top)]["home_occupancy"] < top
+    assert by[("mi-ma-tm", top)]["home_occupancy"] < \
+        by[("mi-ma-ec", top)]["home_occupancy"] * 1.25
+    ratio = by[("ui-ua", top)]["home_occupancy"] / \
+        by[("mi-ma-ec", top)]["home_occupancy"]
+    benchmark.extra_info["occupancy_reduction_at_top"] = ratio
+    assert ratio > 2.5

@@ -1,0 +1,54 @@
+"""Figure E9 — invalidation latency vs system size.
+
+Fixed degree of sharing, growing mesh: the unicast baseline's latency
+grows with both the longer paths and the home hot-spot, while the
+multidestination schemes grow only with path length, so the gap widens
+with system size — the paper's scalability argument.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_invalidation_sweep
+from repro.config import paper_parameters
+
+SCHEMES = ["ui-ua", "mi-ua-ec", "mi-ma-ec"]
+
+
+def test_fig_latency_vs_system_size(benchmark, scale):
+    widths = [4, 8, 12] if scale == "ci" else [4, 8, 16]
+    # Degree of sharing grows with the machine (widely-read data is
+    # shared by a fixed *fraction* of the nodes): d = 2k on a k x k mesh.
+    degrees = {w: 2 * w for w in widths}
+
+    def sweep():
+        rows = []
+        for width in widths:
+            params = paper_parameters(width)
+            for r in run_invalidation_sweep(SCHEMES, [degrees[width]],
+                                            per_degree=6, params=params,
+                                            seed=19):
+                r["mesh"] = f"{width}x{width}"
+                rows.append(r)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        rows, columns=["mesh", "degree", "scheme", "latency", "flit_hops",
+                       "home_occupancy"],
+        title="Fig E9: invalidation latency vs mesh size (degree = 2k)"))
+    by = {(r["mesh"], r["scheme"]): r for r in rows}
+    small, large = f"{widths[0]}x{widths[0]}", f"{widths[-1]}x{widths[-1]}"
+    # Latency grows with machine size for every scheme...
+    for scheme in SCHEMES:
+        assert by[(large, scheme)]["latency"] > by[(small, scheme)]["latency"]
+    # ...and the baseline-to-MI-MA gap widens as the mesh (and with it
+    # the sharing degree) grows — the paper's scalability claim.
+    gap_small = (by[(small, "ui-ua")]["latency"]
+                 / by[(small, "mi-ma-ec")]["latency"])
+    gap_large = (by[(large, "ui-ua")]["latency"]
+                 / by[(large, "mi-ma-ec")]["latency"])
+    benchmark.extra_info["gap_small"] = gap_small
+    benchmark.extra_info["gap_large"] = gap_large
+    assert gap_large >= gap_small
+    assert by[(large, "mi-ma-ec")]["latency"] < by[(large, "ui-ua")]["latency"]

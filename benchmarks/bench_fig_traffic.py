@@ -1,0 +1,41 @@
+"""Figure E6 — network traffic (flit-hops) vs degree of sharing.
+
+Multidestination worms send each flit over the shared prefix of a path
+once instead of once per destination, so traffic drops both from fewer
+messages and from shorter total paths; gathered acks replace d control
+messages with a handful of gather worms.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_invalidation_sweep
+from repro.config import paper_parameters
+
+SCHEMES = ["ui-ua", "mi-ua-ec", "mi-ua-tm", "mi-ma-ec", "mi-ma-tm"]
+
+
+def test_fig_network_traffic(benchmark, scale):
+    width = 8 if scale == "ci" else 16
+    params = paper_parameters(width)
+    # Column-clustered sharers live in two mesh columns, so the maximum
+    # degree is bounded by 2 * height (minus the home).
+    degrees = [2, 4, 8, min(12, 2 * params.mesh_height - 2)]
+    if scale == "paper":
+        degrees.append(2 * params.mesh_height - 2)
+    rows = run_once(benchmark, lambda: run_invalidation_sweep(
+        SCHEMES, degrees, per_degree=6, params=params, seed=17,
+        kind="column"))
+    print()
+    print(format_table(
+        rows, columns=["scheme", "degree", "flit_hops", "messages"],
+        title="Fig E6: network traffic vs degree "
+              "(column-clustered sharers)"))
+    by = {(r["scheme"], r["degree"]): r for r in rows}
+    top = degrees[-1]
+    for scheme in SCHEMES:
+        benchmark.extra_info[f"{scheme}@d{top}"] = by[(scheme, top)]["flit_hops"]
+    assert by[("mi-ua-ec", top)]["flit_hops"] < by[("ui-ua", top)]["flit_hops"]
+    assert by[("mi-ma-ec", top)]["flit_hops"] < by[("mi-ua-ec", top)]["flit_hops"]
+    ratio = by[("ui-ua", top)]["flit_hops"] / by[("mi-ma-ec", top)]["flit_hops"]
+    benchmark.extra_info["traffic_reduction_at_top"] = ratio
+    assert ratio > 1.8

@@ -1,0 +1,29 @@
+"""Table 5 — breakdown of a clean read miss to a neighboring node.
+
+The paper decomposes the latency of the simplest remote transaction into
+its request / directory / memory / reply components and notes the totals
+are "very comparable" to DASH and Alewife hardware measurements.  This
+bench prints the same decomposition from the parameter model and
+cross-validates the sum against a simulated miss.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, read_miss_breakdown
+from repro.config import paper_parameters
+
+
+def test_table5_read_miss_breakdown(benchmark, scale):
+    params = paper_parameters(8)
+    rows = run_once(benchmark, lambda: read_miss_breakdown(params))
+    print()
+    print(format_table(rows, title="Table 5: clean read miss to a "
+                                   "neighboring node (5 ns cycles)"))
+    model = next(r for r in rows if r["component"] == "TOTAL (model)")
+    sim = next(r for r in rows if r["component"] == "TOTAL (simulated)")
+    benchmark.extra_info["model_cycles"] = model["cycles"]
+    benchmark.extra_info["simulated_cycles"] = sim["cycles"]
+    # Model and simulation agree to within a couple of cycles.
+    assert abs(sim["cycles"] - model["cycles"]) <= 4
+    # DASH-comparable: several hundred ns end to end.
+    assert 300 <= sim["ns"] <= 1500

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it.  Scale is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable:
+
+* ``ci`` (default) — reduced workloads; the full bench suite finishes in
+  a few minutes and every qualitative shape still holds;
+* ``paper`` — the paper's configurations (8x8/16x16 meshes, Barnes-Hut
+  128 bodies x 4 steps, LU 128x128 / 8x8 blocks, 64-vertex APSP);
+  budget tens of minutes.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_BENCH_SCALE", "ci")
+    if value not in ("ci", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'ci' or 'paper', "
+                         f"got {value!r}")
+    return value
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Render the paper's central figures as terminal charts.
+
+Sweeps invalidation latency and home-node occupancy against the degree
+of sharing for the main schemes and draws the two curves the paper's
+argument rests on.
+
+Run:  python examples/figures.py [mesh_width]
+"""
+
+import sys
+
+from repro.analysis import run_invalidation_sweep
+from repro.analysis.plotting import chart_from_rows
+from repro.config import paper_parameters
+
+
+def main():
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    params = paper_parameters(width)
+    schemes = ["ui-ua", "mi-ua-ec", "mi-ma-ec"]
+    degrees = sorted({min(d, params.num_nodes - 1)
+                      for d in (1, 2, 4, 8, 16, 32)})
+    rows = run_invalidation_sweep(schemes, degrees, per_degree=5,
+                                  params=params, seed=7)
+    print(chart_from_rows(
+        rows, x="degree", y="latency",
+        title=f"Invalidation latency vs degree of sharing "
+              f"({width}x{width} mesh)",
+        x_label="sharers invalidated", y_label="5ns cycles"))
+    print()
+    print(chart_from_rows(
+        rows, x="degree", y="home_occupancy",
+        title="Home-node occupancy (messages handled at the home)",
+        x_label="sharers invalidated", y_label="messages"))
+
+
+if __name__ == "__main__":
+    main()

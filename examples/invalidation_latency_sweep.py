@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Invalidation-cost sweep across schemes and degrees of sharing.
+
+Reproduces (in miniature) the paper's central comparison: the four
+performance measures — latency, message count, network traffic, and
+home-node occupancy — as the degree of sharing grows, for the UI-UA
+baseline and the multidestination grouping schemes.
+
+Run:  python examples/invalidation_latency_sweep.py [mesh_width]
+"""
+
+import sys
+
+from repro.analysis import format_table, run_invalidation_sweep
+from repro.config import paper_parameters
+
+
+def main():
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    params = paper_parameters(width)
+    schemes = ["ui-ua", "mi-ua-ec", "mi-ua-tm", "mi-ma-ec", "mi-ma-tm",
+               "sci-chain"]
+    degrees = sorted({min(d, params.num_nodes - 1)
+                      for d in (2, 4, 8, 16, 32)})
+    rows = run_invalidation_sweep(schemes, degrees, per_degree=5,
+                                  params=params, seed=7)
+    print(format_table(
+        rows, columns=["scheme", "degree", "latency", "messages",
+                       "flit_hops", "home_occupancy"],
+        title=f"Invalidation cost vs degree of sharing "
+              f"({width}x{width} mesh, uniform sharers, "
+              f"5 patterns/degree)"))
+
+    # Normalized view at the largest degree.
+    top = degrees[-1]
+    base = next(r for r in rows
+                if r["scheme"] == "ui-ua" and r["degree"] == top)
+    print(f"\nAt degree {top} (relative to ui-ua):")
+    for scheme in schemes:
+        r = next(x for x in rows
+                 if x["scheme"] == scheme and x["degree"] == top)
+        print(f"  {scheme:10s} latency x{r['latency'] / base['latency']:.2f}"
+              f"   occupancy x{r['home_occupancy'] / base['home_occupancy']:.2f}"
+              f"   traffic x{r['flit_hops'] / base['flit_hops']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Visualize multidestination worm paths under the BRCP model.
+
+Draws (in ASCII) how the same sharer set is covered by worms under
+e-cube column grouping versus west-first staircase grouping — the core
+mechanism of the paper.  Each worm's walk is reconstructed with the BRCP
+model and stamped onto a mesh map.
+
+Run:  python examples/worm_paths.py
+"""
+
+from repro.brcp.model import conformant_walk
+from repro.core import build_plan
+from repro.network.routing import make_routing
+from repro.network.topology import Mesh2D
+
+
+def draw(mesh: Mesh2D, home: int, sharers, plan, routing_name: str) -> str:
+    routing = make_routing(routing_name, mesh)
+    grid = [["." for _ in range(mesh.width)] for _ in range(mesh.height)]
+    for worm_index, group in enumerate(plan.groups):
+        walk = conformant_walk(routing, home, list(group.dests))
+        assert walk is not None, "scheme produced a non-conformant path"
+        label = chr(ord("a") + worm_index % 26)
+        for node in walk[1:]:
+            x, y = mesh.coords(node)
+            if grid[y][x] == ".":
+                grid[y][x] = label
+    for s in sharers:
+        x, y = mesh.coords(s)
+        grid[y][x] = grid[y][x].upper() if grid[y][x] != "." else "?"
+    hx, hy = mesh.coords(home)
+    grid[hy][hx] = "@"
+    lines = [f"{plan.scheme}: {len(plan.groups)} invalidation worm(s)"]
+    for y in reversed(range(mesh.height)):  # north at the top
+        lines.append(" ".join(grid[y]))
+    lines.append("@ = home, UPPERCASE = sharer covered by that worm, "
+                 "lowercase = pass-through")
+    return "\n".join(lines)
+
+
+def main():
+    mesh = Mesh2D(8, 8)
+    home = mesh.node_at(4, 3)
+    sharers = [mesh.node_at(x, y) for x, y in
+               [(1, 1), (1, 5), (1, 6), (3, 0), (3, 6),
+                (6, 2), (6, 5), (7, 7)]]
+    for scheme in ("mi-ua-ec", "mi-ua-tm"):
+        plan = build_plan(scheme, mesh, home, sharers)
+        print(draw(mesh, home, sharers, plan, plan.routing))
+        print()
+    print("The west-first staircase covers the same sharers with fewer "
+          "worms\nbecause the turn model legalizes multi-column paths "
+          "(paper Sec. 3).")
+
+
+if __name__ == "__main__":
+    main()

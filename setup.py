@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This repository is developed in an offline environment without the `wheel`
+package, so PEP 660 editable installs are unavailable; `pip install -e .`
+uses this file via the legacy `setup.py develop` path instead.  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Reproduction of Dai & Panda, "Reducing Cache Invalidation Overheads
+in Wormhole Routed DSMs Using Multidestination Message Passing"
+(ICPP 1996 / OSU-CISRC-4/96-TR21).
+
+Subpackages:
+
+* :mod:`repro.sim` — discrete-event simulation kernel (CSIM substitute);
+* :mod:`repro.network` — cycle-level wormhole-routed 2-D mesh with
+  multidestination worms, consumption channels, and i-ack buffers;
+* :mod:`repro.brcp` — base-routing-conformed-path model;
+* :mod:`repro.core` — invalidation frameworks and grouping schemes (the
+  paper's contribution) plus the execution engine and metrics;
+* :mod:`repro.coherence` — directory-based DSM protocol and processors;
+* :mod:`repro.workloads` — synthetic patterns, Barnes-Hut, LU, APSP,
+  background traffic;
+* :mod:`repro.analysis` — analytical models, experiment harness, tables,
+  and terminal figures.
+
+Quick start::
+
+    from repro.config import paper_parameters
+    from repro.core import InvalidationEngine, build_plan
+    from repro.network import MeshNetwork
+    from repro.sim import Simulator
+
+    params = paper_parameters(8)
+    sim = Simulator()
+    net = MeshNetwork(sim, params, "ecube")
+    engine = InvalidationEngine(sim, net, params)
+    plan = build_plan("mi-ma-ec", net.mesh, home=18, sharers=[2, 10, 34])
+    record = engine.run(plan)
+"""
+
+from repro.config import DEFAULT_PARAMETERS, SystemParameters, paper_parameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMETERS",
+    "SystemParameters",
+    "paper_parameters",
+    "__version__",
+]

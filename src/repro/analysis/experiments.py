@@ -1,0 +1,274 @@
+"""Experiment harness: the runners behind every benchmark target.
+
+Each function returns plain row dicts so benchmarks and examples can
+print paper-style tables with :mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.analytical import (estimate_latency, plan_message_count,
+                                       plan_traffic)
+from repro.config import SystemParameters, paper_parameters
+from repro.coherence.processor import run_program
+from repro.coherence.system import DSMSystem
+from repro.core.engine import InvalidationEngine
+from repro.core.grouping import SCHEMES, build_plan
+from repro.core.metrics import aggregate_records
+from repro.network import MeshNetwork
+from repro.sim import Simulator, Tally
+from repro.workloads.patterns import make_pattern
+
+
+# ----------------------------------------------------------------------
+# Invalidation microbenchmark sweeps (figures E4-E6, E9)
+# ----------------------------------------------------------------------
+def run_invalidation_sweep(schemes: Sequence[str], degrees: Sequence[int],
+                           per_degree: int = 8,
+                           params: Optional[SystemParameters] = None,
+                           kind: str = "uniform", seed: int = 0,
+                           home: Optional[int] = None) -> list[dict]:
+    """Measure the four performance measures per (scheme, degree).
+
+    Each transaction runs on an otherwise idle network (the paper's
+    microbenchmark methodology); patterns are shared across schemes so
+    the comparison is paired.
+    """
+    params = params or paper_parameters()
+    # Pre-draw patterns once so every scheme sees identical sharer sets.
+    rng = np.random.default_rng(seed)
+    patterns = {d: [make_pattern(kind, _mesh_of(params), d, rng, home=home)
+                    for _ in range(per_degree)]
+                for d in degrees}
+    rows: list[dict] = []
+    for scheme in schemes:
+        routing = SCHEMES[scheme][1]
+        sim = Simulator()
+        net = MeshNetwork(sim, params, routing)
+        engine = InvalidationEngine(sim, net, params)
+        for degree in degrees:
+            latency, messages = Tally("lat"), Tally("msg")
+            traffic, occupancy = Tally("hop"), Tally("occ")
+            for pattern in patterns[degree]:
+                plan = build_plan(scheme, net.mesh, pattern.home,
+                                  pattern.sharers)
+                record = engine.run(plan, limit=5_000_000)
+                latency.add(record.latency)
+                messages.add(record.total_messages)
+                traffic.add(record.flit_hops)
+                occupancy.add(record.home_occupancy)
+            rows.append({
+                "scheme": scheme,
+                "degree": degree,
+                "latency": latency.mean,
+                "latency_max": latency.max,
+                "messages": messages.mean,
+                "flit_hops": traffic.mean,
+                "home_occupancy": occupancy.mean,
+            })
+    return rows
+
+
+def _mesh_of(params: SystemParameters):
+    from repro.network.topology import Mesh2D
+    return Mesh2D(params.mesh_width, params.mesh_height)
+
+
+def run_analytical_sweep(schemes: Sequence[str], degrees: Sequence[int],
+                         per_degree: int = 8,
+                         params: Optional[SystemParameters] = None,
+                         kind: str = "uniform", seed: int = 0) -> list[dict]:
+    """Analytical counterpart of :func:`run_invalidation_sweep`
+    (identical pattern stream, closed-form measures)."""
+    params = params or paper_parameters()
+    mesh = _mesh_of(params)
+    rng = np.random.default_rng(seed)
+    rows: list[dict] = []
+    patterns = {d: [make_pattern(kind, mesh, d, rng)
+                    for _ in range(per_degree)]
+                for d in degrees}
+    for scheme in schemes:
+        for degree in degrees:
+            latency, messages, traffic = Tally("l"), Tally("m"), Tally("t")
+            for pattern in patterns[degree]:
+                plan = build_plan(scheme, mesh, pattern.home,
+                                  pattern.sharers)
+                latency.add(estimate_latency(plan, params, mesh))
+                messages.add(plan_message_count(plan))
+                traffic.add(plan_traffic(plan, params, mesh))
+            rows.append({
+                "scheme": scheme,
+                "degree": degree,
+                "latency": latency.mean,
+                "messages": messages.mean,
+                "flit_hops": traffic.mean,
+            })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Miss-latency micro-transactions (Tables 4 and 5)
+# ----------------------------------------------------------------------
+def _fresh_system(params: SystemParameters,
+                  scheme: str = "ui-ua") -> tuple[Simulator, DSMSystem]:
+    sim = Simulator()
+    return sim, DSMSystem(sim, params, scheme)
+
+
+def _run_sequence(sim: Simulator, system: DSMSystem,
+                  sequence: Sequence[tuple[int, str, int]]) -> list[int]:
+    latencies: list[int] = []
+
+    def driver():
+        for node, op, block in sequence:
+            t0 = sim.now
+            yield from system.access(node, op, block)
+            latencies.append(sim.now - t0)
+
+    proc = sim.spawn(driver(), name="micro")
+    sim.run_until_event(proc.done, limit=10_000_000)
+    return latencies
+
+
+def miss_latency_micro(params: Optional[SystemParameters] = None,
+                       scheme: str = "ui-ua") -> list[dict]:
+    """Table 4: derived typical memory miss latencies (5 ns cycles).
+
+    Micro-transactions on an idle machine: each row isolates one miss
+    type at neighbor distance and at the mesh's average distance.
+    """
+    params = params or paper_parameters()
+    mesh = _mesh_of(params)
+    n = params.num_nodes
+    # Block homed at node 1 => requester 0 is its west neighbor.
+    neighbor_block = 1
+    # Requester 0 and a home at roughly average distance.
+    avg = max(1, round(mesh.average_distance()))
+    hx, hy = min(avg, mesh.width - 1), max(0, avg - (mesh.width - 1))
+    far_home = mesh.node_at(hx, min(hy, mesh.height - 1))
+    far_block = far_home  # block b is homed at b mod n for b < n
+
+    rows = []
+
+    def one(name, sequence, probe_index=-1):
+        sim, system = _fresh_system(params, scheme)
+        lats = _run_sequence(sim, system, sequence)
+        rows.append({"transaction": name, "cycles": lats[probe_index],
+                     "ns": lats[probe_index] * params.net_cycle_ns})
+
+    # Mesh-size-independent actors: a remote writer far from the home,
+    # and four spread-out sharers (all distinct from nodes 0 and 1).
+    others = [i for i in range(n) if i not in (0, 1)]
+    writer = others[-1]
+    sharers = [others[(len(others) * k) // 5] for k in range(1, 5)]
+
+    one("read miss, clean, neighbor home",
+        [(0, "R", neighbor_block)])
+    one("read miss, clean, average distance",
+        [(0, "R", far_block)])
+    one("read miss, dirty remote (recall)",
+        [(writer, "W", neighbor_block), (0, "R", neighbor_block)])
+    one("write miss, uncached, neighbor home",
+        [(0, "W", neighbor_block)])
+    one("write miss, dirty remote (recall)",
+        [(writer, "W", neighbor_block), (0, "W", neighbor_block)])
+    one("upgrade, no other sharers",
+        [(0, "R", neighbor_block), (0, "W", neighbor_block)])
+    one("upgrade, 4 sharers",
+        [(s, "R", neighbor_block) for s in sharers]
+        + [(0, "R", neighbor_block), (0, "W", neighbor_block)])
+    one("local read miss (home's own block)",
+        [(1, "R", neighbor_block)])
+    return rows
+
+
+def read_miss_breakdown(params: Optional[SystemParameters] = None) -> list[dict]:
+    """Table 5: component breakdown of a clean read miss to a neighboring
+    node, plus the simulated end-to-end number for cross-validation."""
+    params = params or paper_parameters()
+    p = params
+    hops = 1
+    request_net = p.router_delay * (hops + 1) + p.control_message_flits - 1
+    reply_net = p.router_delay * (hops + 1) + p.data_message_flits - 1
+    components = [
+        ("cache access + miss detect", p.cache_access),
+        ("compose request (OC)", p.send_overhead),
+        ("request network (control worm)", request_net),
+        ("receive request", p.recv_overhead),
+        ("directory lookup/update", p.dir_access),
+        ("memory block read", p.mem_access),
+        ("compose reply (OC)", p.send_overhead),
+        ("reply network (data worm)", reply_net),
+        ("receive reply + fill", p.recv_overhead),
+    ]
+    rows = [{"component": name, "cycles": cyc,
+             "ns": cyc * p.net_cycle_ns}
+            for name, cyc in components]
+    total = sum(c for _, c in components)
+    rows.append({"component": "TOTAL (model)", "cycles": total,
+                 "ns": total * p.net_cycle_ns})
+    sim, system = _fresh_system(params)
+    measured = _run_sequence(sim, system, [(0, "R", 1)])[0]
+    rows.append({"component": "TOTAL (simulated)", "cycles": measured,
+                 "ns": measured * p.net_cycle_ns})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Application experiments (Table 6 / figure E8)
+# ----------------------------------------------------------------------
+def run_application_experiment(app: str, scheme: str,
+                               params: Optional[SystemParameters] = None,
+                               app_config: Any = None,
+                               limit: int = 200_000_000) -> dict:
+    """Run one application under one scheme; returns a result row.
+
+    ``app`` is ``"barnes-hut"``, ``"lu"``, or ``"apsp"``.  Processors map
+    one-to-one onto mesh nodes (the app config's processor count must not
+    exceed the mesh size).
+    """
+    from repro.workloads import apsp, barnes_hut, lu
+
+    params = params or paper_parameters(4)
+    generators = {
+        "barnes-hut": (barnes_hut, barnes_hut.BHConfig),
+        "lu": (lu, lu.LUConfig),
+        "apsp": (apsp, apsp.APSPConfig),
+    }
+    try:
+        module, default_cfg = generators[app]
+    except KeyError:
+        raise ValueError(f"unknown app {app!r}; "
+                         f"choose from {sorted(generators)}") from None
+    config = app_config if app_config is not None else default_cfg()
+    if config.processors > params.num_nodes:
+        raise ValueError(f"{config.processors} processors exceed the "
+                         f"{params.num_nodes}-node mesh")
+    node_ids = list(range(config.processors))
+    traces, info = module.generate_traces(config, node_ids)
+    sim = Simulator()
+    system = DSMSystem(sim, params, scheme)
+    stats = run_program(system, traces, limit=limit)
+    summaries = aggregate_records(system.engine.records)
+    inval = summaries.get(scheme)
+    return {
+        "app": app,
+        "scheme": scheme,
+        "execution_cycles": stats["execution_cycles"],
+        "execution_ms": stats["execution_cycles"] * params.net_cycle_ns / 1e6,
+        "references": stats["references"],
+        "misses": stats["misses"],
+        "upgrades": stats["upgrades"],
+        "invalidations": stats["invalidations"],
+        "inval_transactions": inval.transactions if inval else 0,
+        "inval_latency": inval.latency.mean if inval else 0.0,
+        "avg_sharers": (stats["invalidations"] / inval.transactions
+                        if inval and inval.transactions else 0.0),
+        "messages": stats["messages"],
+        "flit_hops": stats["flit_hops"],
+        "read_miss_latency": system.read_miss_latency.mean,
+        "upgrade_latency": system.upgrade_latency.mean,
+    }

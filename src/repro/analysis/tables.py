@@ -1,0 +1,44 @@
+"""Table formatting for experiment output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table from a list of row dicts."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_markdown(rows: Sequence[dict],
+                     columns: Optional[Sequence[str]] = None) -> str:
+    """GitHub-flavoured markdown table from row dicts."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    out = ["| " + " | ".join(cols) + " |",
+           "|" + "|".join("---" for _ in cols) + "|"]
+    for r in rows:
+        out.append("| " + " | ".join(_fmt(r.get(c, "")) for c in cols) + " |")
+    return "\n".join(out)

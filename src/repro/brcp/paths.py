@@ -1,0 +1,161 @@
+"""Conformant multidestination path construction.
+
+Two families of paths cover the paper's grouping schemes:
+
+* **E-cube column paths**: under XY routing a single worm from the home
+  can travel along the home's row to a column and then cover sharers in
+  that column *monotonically* in one direction.  A column with sharers on
+  both sides of the home's row therefore needs two worms (one per side).
+  This is why the paper organizes directory presence bits column-wise.
+
+* **West-first staircases**: the turn model permits an initial pure-west
+  leg followed by any {E, N, S} walk without 180-degree reversals, so one
+  worm can chain several columns west-to-east, covering each column's
+  sharers in one monotone run.  Fewer worms per invalidation — the
+  adaptivity benefit the paper quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.network.topology import Mesh2D
+
+
+def column_path_sides(mesh: Mesh2D, home: int, column: int,
+                      sharers: Sequence[int]) -> tuple[list[int], list[int], list[int]]:
+    """Split one column's sharers into e-cube-conformant runs.
+
+    Returns ``(at_row, up_side, down_side)``:
+
+    * ``at_row``  — sharers sitting exactly on the home's row (covered on
+      the row leg itself; at most one per column);
+    * ``up_side`` — sharers above the home's row, nearest first;
+    * ``down_side`` — sharers below, nearest first.
+
+    Each non-empty side, prefixed by the row junction, is a valid XY path
+    from the home.
+    """
+    hx, hy = mesh.coords(home)
+    at_row: list[int] = []
+    up: list[tuple[int, int]] = []
+    down: list[tuple[int, int]] = []
+    for s in sharers:
+        x, y = mesh.coords(s)
+        if x != column:
+            raise ValueError(f"sharer {s} not in column {column}")
+        if y == hy:
+            at_row.append(s)
+        elif y > hy:
+            up.append((y, s))
+        else:
+            down.append((-y, s))
+    up.sort()
+    down.sort()
+    return at_row, [s for _, s in up], [s for _, s in down]
+
+
+def adaptive_chain_paths(mesh: Mesh2D, home: int,
+                         sharers: Sequence[int]) -> list[list[int]]:
+    """Monotone (diagonal) chain grouping for fully-adaptive routing.
+
+    Under minimal fully-adaptive routing a worm may follow any path that
+    never reverses direction, so a single worm can cover any chain of
+    destinations that is monotone in both coordinates relative to the
+    home.  Sharers are partitioned into the four quadrants around the
+    home; within each quadrant a *minimum* chain cover is computed with
+    the patience-sorting greedy (optimal for 2-D dominance orders by
+    Dilworth's theorem): fewer worms than both column grouping and
+    west-first staircases.
+    """
+    if not sharers:
+        return []
+    if home in sharers:
+        raise ValueError("home cannot be a sharer target")
+    if len(set(sharers)) != len(sharers):
+        raise ValueError("duplicate sharers")
+    hx, hy = mesh.coords(home)
+    quadrants: dict[tuple[int, int], list[tuple[int, int, int]]] = \
+        defaultdict(list)
+    for s in sharers:
+        x, y = mesh.coords(s)
+        sx = 1 if x >= hx else -1
+        sy = 1 if y >= hy else -1
+        # Transform into the NE frame of that quadrant.
+        quadrants[(sx, sy)].append((sx * (x - hx), sy * (y - hy), s))
+
+    paths: list[list[int]] = []
+    for points in quadrants.values():
+        # Sort by transformed x, then y; greedily extend the chain with
+        # the largest last-y still <= the point's y.
+        points.sort()
+        chains: list[list[tuple[int, int, int]]] = []
+        for point in points:
+            _px, py, _s = point
+            best = None
+            for chain in chains:
+                last_y = chain[-1][1]
+                if last_y <= py and (best is None
+                                     or last_y > best[-1][1]):
+                    best = chain
+            if best is None:
+                chains.append([point])
+            else:
+                best.append(point)
+        paths.extend([[s for _x, _y, s in chain] for chain in chains])
+    return paths
+
+
+def staircase_paths(mesh: Mesh2D, home: int,
+                    sharers: Sequence[int]) -> list[list[int]]:
+    """Greedy west-first staircase grouping.
+
+    Builds destination orders (each a valid west-first path from ``home``)
+    covering all ``sharers``.  Each worm goes west to the westmost
+    uncovered column, then staircases eastward; within each column it
+    covers a monotone run starting at its entry row, preferring the side
+    holding more uncovered sharers.  Sharers stranded on the other side of
+    a column are left for the next worm.
+    """
+    if not sharers:
+        return []
+    hx, hy = mesh.coords(home)
+    remaining: set[int] = set(sharers)
+    if len(remaining) != len(sharers):
+        raise ValueError("duplicate sharers")
+    if home in remaining:
+        raise ValueError("home cannot be a sharer target")
+    paths: list[list[int]] = []
+    while remaining:
+        by_col: dict[int, list[int]] = defaultdict(list)
+        for s in remaining:
+            by_col[mesh.coords(s)[0]].append(s)
+        path: list[int] = []
+        cur_y = hy
+        cols = sorted(by_col)
+        for i, col in enumerate(cols):
+            ys = sorted(mesh.coords(s)[1] for s in by_col[col])
+            above = [y for y in ys if y >= cur_y]
+            below = [y for y in ys if y <= cur_y]
+            # A sharer exactly at cur_y appears in both; covered either way.
+            run = above if len(above) >= len(below) else list(reversed(below))
+            assert run, "column with sharers produced an empty run"
+            for y in run:
+                path.append(mesh.node_at(col, y))
+            y_moved = len(run) > 1 or run[0] != cur_y
+            cur_y = run[-1]
+            # A worm that rode the pure-west leg to this column and made
+            # no Y movement here cannot turn back east (W->E is a
+            # 180-degree reversal); close the worm and let the next one
+            # cover the remaining columns.
+            if i == 0 and col < hx and not y_moved and len(cols) > 1:
+                break
+        # path is never empty: the westmost column always contributes at
+        # least one sharer (its run contains cur_y-side elements or, if
+        # the entry row strictly separates them, the larger side).
+        assert path, "staircase made no progress"
+        for node in path:
+            remaining.discard(node)
+        paths.append(path)
+    return paths

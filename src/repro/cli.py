@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — print the parameter set for a mesh size;
+* ``sweep`` — invalidation-cost sweep over schemes and degrees
+  (simulated, or closed-form with ``--analytical``);
+* ``app`` — run an application (barnes-hut / lu / apsp) under a scheme;
+* ``tables`` — regenerate the paper's Table 4 / Table 5;
+* ``report`` — run the full evaluation into a markdown report;
+* ``worms`` — draw the worm paths a scheme uses for a sharing pattern.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (format_table, miss_latency_micro,
+                            read_miss_breakdown,
+                            run_application_experiment,
+                            run_invalidation_sweep)
+from repro.analysis.experiments import run_analytical_sweep
+from repro.config import paper_parameters
+from repro.core.grouping import SCHEMES
+
+
+def _csv_ints(text: str) -> list[int]:
+    return [int(v) for v in text.split(",") if v]
+
+
+def _csv_strs(text: str) -> list[str]:
+    return [v for v in text.split(",") if v]
+
+
+def _xy(text: str) -> tuple[int, int]:
+    x, y = text.split(",")
+    return int(x), int(y)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multidestination cache invalidation in wormhole "
+                    "DSMs (Dai & Panda, ICPP 1996) — reproduction tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print the system parameters")
+    p_info.add_argument("--mesh", type=int, default=8,
+                        help="mesh width (square)")
+
+    p_sweep = sub.add_parser("sweep", help="invalidation-cost sweep")
+    p_sweep.add_argument("--schemes", type=_csv_strs,
+                         default=["ui-ua", "mi-ua-ec", "mi-ma-ec"],
+                         help="comma-separated scheme names")
+    p_sweep.add_argument("--degrees", type=_csv_ints,
+                         default=[2, 4, 8, 16])
+    p_sweep.add_argument("--mesh", type=int, default=8)
+    p_sweep.add_argument("--per-degree", type=int, default=5)
+    p_sweep.add_argument("--kind", default="uniform",
+                         choices=["uniform", "column", "row"])
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--analytical", action="store_true",
+                         help="closed-form estimates instead of simulation")
+
+    p_app = sub.add_parser("app", help="run an application on the DSM")
+    p_app.add_argument("--name", required=True,
+                       choices=["barnes-hut", "lu", "apsp"])
+    p_app.add_argument("--scheme", default="ui-ua",
+                       choices=sorted(SCHEMES))
+    p_app.add_argument("--mesh", type=int, default=4)
+    p_app.add_argument("--paper-scale", action="store_true",
+                       help="the paper's configuration (slow)")
+
+    p_tables = sub.add_parser("tables", help="regenerate paper tables")
+    p_tables.add_argument("--which", type=int, default=4, choices=[4, 5])
+    p_tables.add_argument("--mesh", type=int, default=8)
+
+    p_report = sub.add_parser("report",
+                              help="run the full evaluation and write a "
+                                   "markdown report")
+    p_report.add_argument("--out", default="results.md",
+                          help="output markdown file")
+    p_report.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    p_report.add_argument("--seed", type=int, default=11)
+
+    p_worms = sub.add_parser("worms", help="draw a scheme's worm paths")
+    p_worms.add_argument("--scheme", default="mi-ua-ec",
+                         choices=sorted(SCHEMES))
+    p_worms.add_argument("--mesh", type=int, default=8)
+    p_worms.add_argument("--home", type=_xy, default=(4, 3),
+                         help="home coordinate, e.g. 4,3")
+    p_worms.add_argument("--sharers", type=str,
+                         default="1,1 1,5 3,6 6,2 6,5",
+                         help="space-separated x,y coordinates")
+    return parser
+
+
+def cmd_info(args) -> int:
+    """``repro info``: print the parameter set."""
+    params = paper_parameters(args.mesh)
+    rows = [{"parameter": f.name, "value": getattr(params, f.name)}
+            for f in dataclasses.fields(params)]
+    rows += [{"parameter": "num_nodes (derived)", "value": params.num_nodes},
+             {"parameter": "data_message_flits (derived)",
+              "value": params.data_message_flits}]
+    print(format_table(rows, title=f"System parameters "
+                                   f"({args.mesh}x{args.mesh} mesh)"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: invalidation-cost sweep (simulated/analytical)."""
+    for scheme in args.schemes:
+        if scheme not in SCHEMES:
+            print(f"unknown scheme {scheme!r}; choose from "
+                  f"{sorted(SCHEMES)}", file=sys.stderr)
+            return 2
+    params = paper_parameters(args.mesh)
+    runner = run_analytical_sweep if args.analytical \
+        else run_invalidation_sweep
+    rows = runner(args.schemes, args.degrees, per_degree=args.per_degree,
+                  params=params, kind=args.kind, seed=args.seed)
+    mode = "analytical" if args.analytical else "simulated"
+    print(format_table(rows, title=f"Invalidation sweep ({mode}, "
+                                   f"{args.mesh}x{args.mesh}, "
+                                   f"{args.kind} sharers)"))
+    return 0
+
+
+def cmd_app(args) -> int:
+    """``repro app``: run an application on the DSM."""
+    from repro.workloads import apsp, barnes_hut, lu
+
+    params = paper_parameters(args.mesh)
+    if args.paper_scale:
+        configs = {
+            "barnes-hut": barnes_hut.BHConfig(bodies=128, steps=4,
+                                              processors=16),
+            "lu": lu.LUConfig(n=128, block=8, processors=16),
+            "apsp": apsp.APSPConfig(vertices=64, processors=16),
+        }
+    else:
+        configs = {
+            "barnes-hut": barnes_hut.BHConfig(bodies=64, steps=2,
+                                              processors=16),
+            "lu": lu.LUConfig(n=64, block=8, processors=16),
+            "apsp": apsp.APSPConfig(vertices=32, processors=16),
+        }
+    row = run_application_experiment(args.name, args.scheme,
+                                     params=params,
+                                     app_config=configs[args.name])
+    print(format_table([row], columns=[
+        "app", "scheme", "execution_cycles", "execution_ms", "references",
+        "misses", "invalidations", "inval_latency"]))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    """``repro tables``: regenerate Table 4 or Table 5."""
+    params = paper_parameters(args.mesh)
+    if args.which == 4:
+        print(format_table(miss_latency_micro(params),
+                           title="Table 4: typical memory miss latencies "
+                                 "(5 ns cycles)"))
+    else:
+        print(format_table(read_miss_breakdown(params),
+                           title="Table 5: clean read miss to a "
+                                 "neighboring node"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """``repro report``: run the full evaluation into a markdown file."""
+    from repro.analysis.report import generate_report
+
+    text = generate_report(scale=args.scale, seed=args.seed,
+                           progress=lambda msg: print(f"[report] {msg}"))
+    with open(args.out, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_worms(args) -> int:
+    """``repro worms``: ASCII-draw a scheme's worm paths."""
+    from repro.brcp.model import conformant_walk
+    from repro.core import build_plan
+    from repro.network.routing import make_routing
+    from repro.network.topology import Mesh2D
+
+    mesh = Mesh2D(args.mesh, args.mesh)
+    home = mesh.node_at(*args.home)
+    sharers = [mesh.node_at(*_xy(tok)) for tok in args.sharers.split()]
+    plan = build_plan(args.scheme, mesh, home, sharers)
+    routing = make_routing(plan.routing, mesh)
+    grid = [["." for _ in range(mesh.width)] for _ in range(mesh.height)]
+    for i, group in enumerate(plan.groups):
+        walk = conformant_walk(routing, home, list(group.dests))
+        assert walk is not None
+        label = chr(ord("a") + i % 26)
+        for node in walk[1:]:
+            x, y = mesh.coords(node)
+            if grid[y][x] == ".":
+                grid[y][x] = label
+    for s in sharers:
+        x, y = mesh.coords(s)
+        grid[y][x] = grid[y][x].upper() if grid[y][x] != "." else "?"
+    hx, hy = mesh.coords(home)
+    grid[hy][hx] = "@"
+    print(f"{plan.scheme}: {len(plan.groups)} worm(s) for "
+          f"{len(sharers)} sharer(s)")
+    for y in reversed(range(mesh.height)):
+        print(" ".join(grid[y]))
+    print("@ = home, UPPERCASE = sharer, lowercase = pass-through")
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "sweep": cmd_sweep,
+    "app": cmd_app,
+    "tables": cmd_tables,
+    "report": cmd_report,
+    "worms": cmd_worms,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

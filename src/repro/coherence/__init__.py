@@ -1,0 +1,30 @@
+"""Directory-based DSM coherence protocol (paper Sec. 2).
+
+A fully-mapped directory with sequential consistency on top of the
+wormhole network: each node has a processor, a cache controller (CC), a
+directory controller (DC) for the blocks it is home to, an outgoing
+message controller (OC), and a memory module — the organization the paper
+shares with DASH [10], Alewife [8], and FLASH [12].
+
+Directory states are *uncached / shared / exclusive / waiting* [44]; the
+invalidation phase of write transactions is delegated to the
+:class:`~repro.core.engine.InvalidationEngine`, which is where the
+paper's multidestination schemes plug in.
+"""
+
+from repro.coherence.cache import Cache, CacheState
+from repro.coherence.directory import Directory, DirectoryState
+from repro.coherence.messages import CohType
+from repro.coherence.processor import Barrier, Processor
+from repro.coherence.system import DSMSystem
+
+__all__ = [
+    "Barrier",
+    "Cache",
+    "CacheState",
+    "CohType",
+    "Directory",
+    "DirectoryState",
+    "DSMSystem",
+    "Processor",
+]

@@ -1,0 +1,174 @@
+"""System-wide timing and sizing parameters.
+
+All latencies are expressed in *network cycles*.  The paper reports
+latencies "in 5 ns cycles": with 200 Mbytes/sec links and byte-wide phits,
+one flit crosses a link every 5 ns, which defines the network cycle.  The
+100 MHz processor cycle (10 ns) is therefore 2 network cycles, and the
+20 ns router delay is 4 network cycles.
+
+The default values below follow the parameters pinned by the paper
+(Sec. 6.1.1) and are calibrated so that a clean read miss to a neighboring
+node lands in the range the paper reports as comparable to DASH / Alewife
+hardware measurements (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """Immutable bundle of simulation parameters.
+
+    Instances are hashable and comparable, so they can key result caches.
+    Use :meth:`evolve` to derive a modified copy.
+    """
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    #: Mesh is ``mesh_width x mesh_height`` (paper uses square k x k).
+    mesh_width: int = 8
+    mesh_height: int = 8
+
+    # ------------------------------------------------------------------
+    # Clocks (network cycle = 5 ns is the unit of time everywhere)
+    # ------------------------------------------------------------------
+    #: Network cycle length in nanoseconds (200 MB/s byte-wide link).
+    net_cycle_ns: float = 5.0
+    #: Processor cycles per network cycle inverse: one 100 MHz processor
+    #: cycle equals this many network cycles.
+    proc_cycle: int = 2
+
+    # ------------------------------------------------------------------
+    # Router / link microarchitecture
+    # ------------------------------------------------------------------
+    #: Header routing-decision delay at each router (20 ns = 4 cycles).
+    router_delay: int = 4
+    #: Flit buffer depth of each input virtual channel, in flits.
+    vc_buffer_depth: int = 4
+    #: Number of virtual networks (logically separate request / reply
+    #: networks, as used by DASH-style systems to break protocol deadlock).
+    num_vnets: int = 2
+    #: Consumption channels per router interface.  Four are sufficient for
+    #: deadlock freedom with multidestination worms on a 2-D mesh [39].
+    consumption_channels: int = 4
+    #: Invalidation-acknowledgment buffers per router interface (the paper
+    #: proposes a small set, 2-4).
+    iack_buffers: int = 4
+
+    # ------------------------------------------------------------------
+    # Message sizes (flits)
+    # ------------------------------------------------------------------
+    #: Routing-header flits of a unicast message.
+    header_flits: int = 1
+    #: Nominal extra header flits of a multidestination message, used by
+    #: the derived :attr:`multidest_control_flits` size.  The engine and
+    #: the analytical model size real worms per destination count via
+    #: :func:`repro.brcp.encoding.header_flit_count` (one bit-string
+    #: mask flit per 8 mesh rows under the default encoding).
+    multidest_header_flits: int = 2
+    #: Payload flits of a control message (request, inval, ack, grant).
+    control_flits: int = 5
+    #: Payload flits of an i-gather worm (accumulated ack count + tag).
+    gather_payload_flits: int = 2
+    #: Cache block size in bytes; one byte per flit on a byte-wide link.
+    cache_block_bytes: int = 32
+
+    # ------------------------------------------------------------------
+    # Node-level latencies (network cycles)
+    # ------------------------------------------------------------------
+    #: Cache lookup (hit detection) at the cache controller.
+    cache_access: int = 4
+    #: Invalidating a cache line at a sharer.
+    cache_invalidate: int = 4
+    #: Directory entry lookup / update at the directory controller.
+    dir_access: int = 6
+    #: Main-memory block access (read or write of a full block).
+    mem_access: int = 16
+    #: Outgoing-controller overhead to compose and hand a message to the
+    #: router interface.
+    send_overhead: int = 4
+    #: Overhead to receive a message from a consumption channel into the
+    #: node (interrupt / poll + header decode).
+    recv_overhead: int = 4
+    #: Memory-mapped write of an ack signal into a reserved i-ack buffer.
+    iack_deposit: int = 2
+    #: Picking up an ack signal from an i-ack buffer as a gather worm
+    #: passes the router interface.  In the cycle-level router this cost
+    #: is folded into the worm's DECIDE cycle (so 1 is the faithful
+    #: value); the analytical model charges it explicitly.
+    iack_pickup: int = 1
+
+    # ------------------------------------------------------------------
+    # Behavioural switches
+    # ------------------------------------------------------------------
+    #: Use virtual cut-through deferred delivery for blocked i-gather
+    #: worms (park in an i-ack buffer instead of holding channels).
+    deferred_delivery: bool = True
+    #: Multidestination header encoding: ``"bitstring"`` keeps a fixed
+    #: header; ``"list"`` strips one header flit per visited destination.
+    multidest_encoding: str = "bitstring"
+
+    def __post_init__(self) -> None:
+        if self.mesh_width < 1 or self.mesh_height < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        if self.num_vnets < 2:
+            raise ValueError("need >= 2 virtual networks (request/reply)")
+        if self.consumption_channels < 1:
+            raise ValueError("need >= 1 consumption channel")
+        if self.iack_buffers < 1:
+            raise ValueError("need >= 1 i-ack buffer")
+        if self.multidest_encoding not in ("bitstring", "list"):
+            raise ValueError("multidest_encoding must be 'bitstring' or 'list'")
+        if self.vc_buffer_depth < 1:
+            raise ValueError("vc_buffer_depth must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total node count of the mesh."""
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def data_flits(self) -> int:
+        """Payload flits of a data-carrying message (one per byte)."""
+        return self.cache_block_bytes
+
+    @property
+    def control_message_flits(self) -> int:
+        """Total flits of a unicast control message."""
+        return self.header_flits + self.control_flits
+
+    @property
+    def data_message_flits(self) -> int:
+        """Total flits of a unicast data message."""
+        return self.header_flits + self.control_flits + self.data_flits
+
+    @property
+    def multidest_control_flits(self) -> int:
+        """Total flits of a multidestination control worm."""
+        return self.header_flits + self.multidest_header_flits + self.control_flits
+
+    def evolve(self, **changes: Any) -> "SystemParameters":
+        """Return a copy with ``changes`` applied (validation re-runs)."""
+        return replace(self, **changes)
+
+
+#: Paper-default parameter set (8x8 mesh).
+DEFAULT_PARAMETERS = SystemParameters()
+
+
+def paper_parameters(mesh_width: int = 8, mesh_height: int | None = None,
+                     **overrides: Any) -> SystemParameters:
+    """Build a :class:`SystemParameters` for a ``k x k`` (or ``w x h``) mesh
+    with the paper's technology parameters, applying ``overrides``.
+    """
+    if mesh_height is None:
+        mesh_height = mesh_width
+    return SystemParameters(mesh_width=mesh_width,
+                            mesh_height=mesh_height, **overrides)

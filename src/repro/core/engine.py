@@ -1,0 +1,366 @@
+"""Execution of invalidation plans on the cycle-level network.
+
+The engine models the node-side timing around the network:
+
+* the home's outgoing controller (OC) serializes worm launches, one
+  ``send_overhead`` apiece — the request-phase component of home-node
+  occupancy [18];
+* each received message costs ``recv_overhead`` of the node's processing
+  facility; a sharer's invalidation adds ``cache_invalidate``;
+* deposits into i-ack buffers are memory-mapped writes (``iack_deposit``),
+  which notably do *not* occupy the home node — that is the point of the
+  MA schemes.
+
+Transactions are identified by unique integer ids; any number may run
+concurrently (the i-ack buffer files key entries by transaction).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Optional
+
+from repro.brcp.encoding import header_flit_count
+from repro.config import SystemParameters
+from repro.core.metrics import TransactionRecord
+from repro.core.plan import (ACT_ACK,
+                             ACT_DEPOSIT, ACT_GATHER_TERMINAL, ACT_LAUNCH,
+                             ACT_PIECE, FINAL_HOME, FINAL_JUNCTION,
+                             FINAL_TERMINAL, GatherSpec, InvalGroup,
+                             InvalidationPlan, JUNCTION_DEPOSIT,
+                             JUNCTION_LAUNCH, JUNCTION_UNICAST)
+from repro.network import MeshNetwork, Worm, WormKind
+from repro.network.worm import VNET_REPLY, VNET_REQUEST
+from repro.sim import Event, Facility, Simulator, Timeout
+
+
+class _TxnState:
+    """Mutable per-transaction bookkeeping."""
+
+    __slots__ = ("txn", "plan", "start", "end", "done", "acks", "needed",
+                 "collectors", "inval_done", "worms", "home_sent",
+                 "home_recv")
+
+    def __init__(self, txn: int, plan: InvalidationPlan,
+                 sim: Simulator) -> None:
+        self.txn = txn
+        self.plan = plan
+        self.start = sim.now
+        self.end: Optional[int] = None
+        self.done: Event = sim.event(f"txn{txn}.done")
+        self.acks = 0
+        self.needed = len(plan.sharers)
+        self.collectors = {
+            jp.node: {"plan": jp, "got": 0, "pieces": 0}
+            for jp in plan.junctions}
+        self.inval_done = {s: sim.event(f"txn{txn}.inv.{s}")
+                           for s in plan.sharers}
+        self.worms: list[Worm] = []
+        self.home_sent = 0
+        self.home_recv = 0
+
+
+class InvalidationEngine:
+    """Executes :class:`InvalidationPlan` transactions on a network."""
+
+    #: Payload roles this engine owns (a surrounding protocol layer that
+    #: installs its own delivery handler forwards these).
+    ROLES = frozenset({"inval", "ack", "gather"})
+
+    def __init__(self, sim: Simulator, net: MeshNetwork,
+                 params: SystemParameters, attach: bool = True,
+                 max_concurrent_ma: Optional[int] = None) -> None:
+        """``max_concurrent_ma`` bounds how many i-ack-buffer-using
+        transactions run at once (None = unbounded).  A transaction
+        reserves at most two entries per router interface (a level-0
+        sharer slot plus a level-1 junction slot), so a cap of
+        ``iack_buffers // 2`` guarantees every reservation eventually
+        succeeds — without it, enough concurrent MA transactions can
+        deadlock in a circular hold-and-wait on the buffer files (the
+        network detects and reports this).  The DSM layer enables the
+        cap; raw microbenchmarks leave it off to study the hazard.
+        """
+        self.sim = sim
+        self.net = net
+        self.params = params
+        n = params.num_nodes
+        #: Outgoing message controllers (send serialization) per node.
+        self.oc = [Facility(sim, f"oc.{i}") for i in range(n)]
+        #: Node processing facility (receive handling, cache ops).
+        self.proc = [Facility(sim, f"proc.{i}") for i in range(n)]
+        if attach:
+            net.on_deliver = self._on_deliver
+            net.on_chain_deliver = self._on_chain_deliver
+        self._txns: dict[int, _TxnState] = {}
+        self._ids = itertools.count(1)
+        #: Completed transactions, in completion order.
+        self.records: list[TransactionRecord] = []
+        #: Called as ``hook(node, txn)`` when a sharer's line is
+        #: invalidated — the coherence layer clears its cache here.
+        self.invalidate_hook = lambda node, txn: None
+        # Admission control for i-ack-buffer-using transactions.
+        self._ma_cap = max_concurrent_ma
+        self._ma_active = 0
+        self._ma_queue: "deque[_TxnState]" = deque()
+        #: Transactions that waited for admission (statistic).
+        self.ma_admission_waits = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _uses_iack(plan: InvalidationPlan) -> bool:
+        """True when the plan reserves/uses i-ack buffer entries."""
+        return any(g.kind is WormKind.IRESERVE for g in plan.groups)
+
+    def execute(self, plan: InvalidationPlan) -> _TxnState:
+        """Start a transaction; returns its state (wait on ``.done``).
+
+        Transactions that use i-ack buffers may be held back by the
+        admission cap; they start automatically as earlier ones finish.
+        """
+        txn = next(self._ids)
+        st = _TxnState(txn, plan, self.sim)
+        self._txns[txn] = st
+        if not plan.sharers:
+            self._finish(st)
+        elif (self._ma_cap is not None and self._uses_iack(plan)
+              and self._ma_active >= self._ma_cap):
+            self.ma_admission_waits += 1
+            self._ma_queue.append(st)
+        else:
+            self._start(st)
+        return st
+
+    def _start(self, st: _TxnState) -> None:
+        if self._uses_iack(st.plan):
+            self._ma_active += 1
+        self.sim.spawn(self._home_send(st), name=f"txn{st.txn}.home")
+
+    def run(self, plan: InvalidationPlan,
+            limit: Optional[int] = None) -> TransactionRecord:
+        """Execute ``plan`` and drive the simulator to its completion."""
+        st = self.execute(plan)
+        return self.sim.run_until_event(st.done, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Worm construction
+    # ------------------------------------------------------------------
+    def _multidest_flits(self, ndests: int, payload_flits: int) -> int:
+        p = self.params
+        extra = header_flit_count(p.multidest_encoding, p.mesh_height,
+                                  ndests) if ndests > 1 else 0
+        return p.header_flits + extra + payload_flits
+
+    def _inval_worm(self, st: _TxnState, group: InvalGroup) -> Worm:
+        p = self.params
+        payload: dict = {"role": "inval"}
+        if group.kind is WormKind.CHAIN:
+            payload["chain_count"] = len(group.dests)
+        if group.kind is WormKind.UNICAST:
+            size = p.control_message_flits
+        else:
+            size = self._multidest_flits(len(group.dests), p.control_flits)
+        return Worm(kind=group.kind, src=st.plan.home, dests=group.dests,
+                    size_flits=size, vnet=VNET_REQUEST, txn=st.txn,
+                    payload=payload, reserve_only=group.reserve_only,
+                    extra_reserve=group.extra_reserve,
+                    no_reserve=group.no_reserve)
+
+    def _gather_worm(self, st: _TxnState, spec: GatherSpec,
+                     acks: int) -> Worm:
+        p = self.params
+        size = self._multidest_flits(len(spec.dests), p.gather_payload_flits)
+        return Worm(kind=WormKind.IGATHER, src=spec.launcher,
+                    dests=spec.dests, size_flits=size, vnet=VNET_REPLY,
+                    txn=st.txn, payload={"role": "gather", "spec": spec},
+                    acks_carried=acks, pickup_level=spec.pickup_level)
+
+    def _ack_worm(self, st: _TxnState, src: int, count: int) -> Worm:
+        return Worm(kind=WormKind.UNICAST, src=src,
+                    dests=(st.plan.home,),
+                    size_flits=self.params.control_message_flits,
+                    vnet=VNET_REPLY, txn=st.txn,
+                    payload={"role": "ack", "count": count})
+
+    def _inject(self, st: _TxnState, worm: Worm) -> None:
+        st.worms.append(worm)
+        self.net.inject(worm)
+
+    # ------------------------------------------------------------------
+    # Home request phase
+    # ------------------------------------------------------------------
+    def _home_send(self, st: _TxnState):
+        oc = self.oc[st.plan.home]
+        for group in st.plan.groups:
+            yield from oc.use(self.params.send_overhead)
+            st.home_sent += 1
+            self._inject(st, self._inval_worm(st, group))
+
+    # ------------------------------------------------------------------
+    # Network delivery dispatch
+    # ------------------------------------------------------------------
+    def handle_delivery(self, node: int, worm: Worm, final: bool) -> None:
+        """Entry point for an outer protocol layer forwarding deliveries
+        whose payload role is in :attr:`ROLES`."""
+        self._on_deliver(node, worm, final)
+
+    def handle_chain_delivery(self, node: int, worm: Worm) -> None:
+        """Forwarding entry point for chain-worm header deliveries."""
+        self._on_chain_deliver(node, worm)
+
+    def _on_deliver(self, node: int, worm: Worm, final: bool) -> None:
+        st = self._txns.get(worm.txn)
+        if st is None:
+            raise RuntimeError(f"delivery for unknown transaction "
+                               f"{worm.txn!r} at node {node}")
+        role = worm.payload["role"]
+        if role == "inval":
+            if worm.kind is WormKind.CHAIN:
+                # Intermediate chain stops arrive via on_chain_deliver;
+                # only the final consumption lands here.
+                self.sim.spawn(self._chain_final(
+                    st, node, worm.payload["chain_count"]),
+                    name=f"txn{st.txn}.chainfin.{node}")
+            else:
+                self.sim.spawn(self._sharer(st, node),
+                               name=f"txn{st.txn}.inv.{node}")
+        elif role == "ack":
+            self.sim.spawn(self._home_ack(st, worm.payload["count"]),
+                           name=f"txn{st.txn}.ack")
+        elif role == "gather":
+            assert final, "gather worms deliver only at their final stop"
+            self.sim.spawn(self._gather_final(st, node, worm),
+                           name=f"txn{st.txn}.gather.{node}")
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown payload role {role!r}")
+
+    def _on_chain_deliver(self, node: int, worm: Worm) -> None:
+        st = self._txns[worm.txn]
+        self.sim.spawn(self._chain_stop(st, node),
+                       name=f"txn{st.txn}.chain.{node}")
+
+    # ------------------------------------------------------------------
+    # Node-side processes
+    # ------------------------------------------------------------------
+    def _sharer(self, st: _TxnState, node: int):
+        p = self.params
+        yield from self.proc[node].use(p.recv_overhead + p.cache_invalidate)
+        self.invalidate_hook(node, st.txn)
+        st.inval_done[node].succeed()
+        action = st.plan.sharer_actions[node]
+        kind = action[0]
+        if kind == ACT_ACK:
+            yield from self.oc[node].use(p.send_overhead)
+            self._inject(st, self._ack_worm(st, node, 1))
+        elif kind == ACT_DEPOSIT:
+            yield Timeout(p.iack_deposit)
+            self.net.deposit_ack(node, (st.txn, 0))
+        elif kind == ACT_LAUNCH:
+            spec: GatherSpec = action[1]
+            yield from self.oc[node].use(p.send_overhead)
+            assert spec.initial_acks is not None
+            self._inject(st, self._gather_worm(st, spec, spec.initial_acks))
+        elif kind == ACT_PIECE:
+            self._junction_piece(st, action[1], 1)
+        elif kind == ACT_GATHER_TERMINAL:
+            pass  # the arriving gather worm completes this sharer's part
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"sharer {node} with action {action!r}")
+
+    def _chain_stop(self, st: _TxnState, node: int):
+        p = self.params
+        yield from self.proc[node].use(p.recv_overhead + p.cache_invalidate)
+        self.invalidate_hook(node, st.txn)
+        st.inval_done[node].succeed()
+        self.net.signal_chain_done(node, st.txn)
+
+    def _chain_final(self, st: _TxnState, node: int, count: int):
+        p = self.params
+        yield from self.proc[node].use(p.recv_overhead + p.cache_invalidate)
+        self.invalidate_hook(node, st.txn)
+        st.inval_done[node].succeed()
+        yield from self.oc[node].use(p.send_overhead)
+        self._inject(st, self._ack_worm(st, node, count))
+
+    def _home_ack(self, st: _TxnState, count: int):
+        yield from self.proc[st.plan.home].use(self.params.recv_overhead)
+        st.home_recv += 1
+        self._credit(st, count)
+
+    def _gather_final(self, st: _TxnState, node: int, worm: Worm):
+        p = self.params
+        spec: GatherSpec = worm.payload["spec"]
+        if spec.final_action == FINAL_HOME:
+            yield from self.proc[node].use(p.recv_overhead)
+            st.home_recv += 1
+            self._credit(st, worm.acks_carried)
+        elif spec.final_action == FINAL_JUNCTION:
+            yield from self.proc[node].use(p.recv_overhead)
+            self._junction_piece(st, spec.junction, worm.acks_carried)
+        elif spec.final_action == FINAL_TERMINAL:
+            yield from self.proc[node].use(p.recv_overhead)
+            yield st.inval_done[node]  # own invalidation must finish
+            yield from self.oc[node].use(p.send_overhead)
+            self._inject(st, self._ack_worm(st, node, worm.acks_carried + 1))
+        else:  # pragma: no cover - defensive
+            raise AssertionError(spec.final_action)
+
+    # ------------------------------------------------------------------
+    # Junction collectors
+    # ------------------------------------------------------------------
+    def _junction_piece(self, st: _TxnState, junction: int,
+                        count: int) -> None:
+        coll = st.collectors[junction]
+        coll["got"] += count
+        coll["pieces"] += 1
+        if coll["pieces"] < coll["plan"].expected_pieces:
+            return
+        jp = coll["plan"]
+        total = coll["got"]
+        if jp.action == JUNCTION_DEPOSIT:
+            def deposit():
+                yield Timeout(self.params.iack_deposit)
+                self.net.deposit_ack(junction, (st.txn, 1), total)
+            self.sim.spawn(deposit(), name=f"txn{st.txn}.jdep.{junction}")
+        elif jp.action == JUNCTION_LAUNCH:
+            def launch():
+                yield from self.oc[junction].use(self.params.send_overhead)
+                self._inject(st, self._gather_worm(st, jp.row_gather, total))
+            self.sim.spawn(launch(), name=f"txn{st.txn}.jrow.{junction}")
+        elif jp.action == JUNCTION_UNICAST:
+            def unicast():
+                yield from self.oc[junction].use(self.params.send_overhead)
+                self._inject(st, self._ack_worm(st, junction, total))
+            self.sim.spawn(unicast(), name=f"txn{st.txn}.juni.{junction}")
+        else:  # pragma: no cover - defensive
+            raise AssertionError(jp.action)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _credit(self, st: _TxnState, count: int) -> None:
+        st.acks += count
+        if st.acks > st.needed:
+            raise RuntimeError(
+                f"txn {st.txn}: {st.acks} acks for {st.needed} sharers")
+        if st.acks == st.needed:
+            self._finish(st)
+
+    def _finish(self, st: _TxnState) -> None:
+        st.end = self.sim.now
+        record = TransactionRecord(
+            txn=st.txn, scheme=st.plan.scheme, home=st.plan.home,
+            sharers=st.needed, start=st.start, end=st.end,
+            home_sent=st.home_sent, home_recv=st.home_recv,
+            total_messages=len(st.worms),
+            flit_hops=sum(w.flit_hops for w in st.worms))
+        self.records.append(record)
+        del self._txns[st.txn]
+        if st.plan.sharers and self._uses_iack(st.plan):
+            self._ma_active -= 1
+            if self._ma_queue and (self._ma_cap is None
+                                   or self._ma_active < self._ma_cap):
+                self._start(self._ma_queue.popleft())
+        st.done.succeed(record)

@@ -1,0 +1,277 @@
+"""The mesh network: step loop, injection, delivery, and statistics.
+
+The network advances on an integer cycle clock registered as a simulation
+process.  Each cycle has three phases over the *busy* routers only:
+
+1. ``phase_decide`` — header routing countdowns and interface actions;
+2. ``phase_select`` — pick at most one flit per output link, one flit per
+   interface sink, one injected flit per virtual network;
+3. apply — execute all selected moves, so no flit travels more than one
+   hop per cycle.
+
+The clock parks on an idle event whenever no router has work; injections
+and parked-worm releases wake it.  This keeps the cost of simulating an
+application proportional to the traffic, not to ``nodes x cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.config import SystemParameters
+from repro.network.interface import RouterInterface
+from repro.network.router import Router
+from repro.network.routing import make_routing
+from repro.network.topology import Mesh2D, Port
+from repro.network.worm import Worm, WormKind
+from repro.sim import Simulator, Tally, Timeout
+
+#: Delivery handler signature: ``handler(node, worm, final)`` where
+#: ``final`` is False for forward-and-absorb copies at intermediate
+#: destinations.
+DeliveryHandler = Callable[[int, Worm, bool], None]
+
+#: Chain-delivery handler: the node must eventually call
+#: :meth:`MeshNetwork.signal_chain_done` for the worm to move on.
+ChainHandler = Callable[[int, Worm], None]
+
+
+class MeshNetwork:
+    """Cycle-level wormhole-routed 2-D mesh."""
+
+    def __init__(self, sim: Simulator, params: SystemParameters,
+                 routing: str = "ecube") -> None:
+        self.sim = sim
+        self.params = params
+        self.mesh = Mesh2D(params.mesh_width, params.mesh_height)
+        self.routing = make_routing(routing, self.mesh)
+        self.routers: list[Router] = []
+        for node in self.mesh.nodes():
+            x, y = self.mesh.coords(node)
+            interface = RouterInterface(params.consumption_channels,
+                                        params.iack_buffers)
+            self.routers.append(Router(node, x, y, params.num_vnets,
+                                       params.vc_buffer_depth,
+                                       params.router_delay, interface))
+        # Wire up the per-channel downstream targets.
+        from repro.network.topology import MESH_PORTS, OPPOSITE
+        for router in self.routers:
+            for port in MESH_PORTS:
+                neighbor_id = self.mesh.neighbor(router.node, port)
+                if neighbor_id is None:
+                    continue
+                neighbor = self.routers[neighbor_id]
+                for vnet in range(params.num_vnets):
+                    router.links[(port, vnet)] = (
+                        neighbor, neighbor.in_vcs[(OPPOSITE[port], vnet)])
+        # Handlers (installed by the coherence layer; default: collect).
+        self.delivered_log: list[tuple[int, int, Worm, bool]] = []
+        self.on_deliver: DeliveryHandler = self._default_deliver
+        self.on_chain_deliver: ChainHandler = lambda node, worm: None
+
+        # Statistics.
+        self.total_flit_hops = 0
+        self.injected = 0
+        self.delivered = 0
+        self.link_use: dict[tuple[int, Port], int] = {}
+        self.latency: dict[WormKind, Tally] = {
+            kind: Tally(f"latency.{kind.value}") for kind in WormKind}
+        self.cycles_stepped = 0
+
+        # Step-loop state.
+        self.pending_moves: list[tuple] = []
+        self.busy: set[int] = set()
+        self._idle_event = None
+        self._stalled_cycles = 0
+        #: Consecutive cycles with zero flit movement and no routing in
+        #: progress before the network declares deadlock.  Multidest
+        #: worms hold-and-wait on consumption channels and i-ack buffer
+        #: entries, so a genuine circular wait (e.g. several concurrent
+        #: MI-MA transactions with a single i-ack buffer) stalls forever;
+        #: raising beats silently spinning.
+        self.deadlock_threshold = 100_000
+        sim.spawn(self._clock(), name="network.clock")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def inject(self, worm: Worm) -> None:
+        """Hand a worm to its source router for injection."""
+        if not 0 <= worm.src < self.mesh.num_nodes:
+            raise ValueError(f"source {worm.src} outside the mesh")
+        for dest in worm.dests:
+            if not 0 <= dest < self.mesh.num_nodes:
+                raise ValueError(f"destination {dest} outside the mesh")
+        worm.injected_at = self.sim.now
+        self.routers[worm.src].inject_queue[worm.vnet].append(worm)
+        self.injected += 1
+        self.busy.add(worm.src)
+        self._wake()
+
+    def deposit_ack(self, node: int, key: Hashable, count: int = 1) -> None:
+        """Node-side memory-mapped deposit of an ack signal at its router.
+
+        If an i-gather worm was parked on the entry it resumes here.
+        """
+        released = self.routers[node].interface.iack.deposit(key, count)
+        if released is not None:
+            self._reinject(node, released)
+
+    def signal_chain_done(self, node: int, txn: Hashable) -> None:
+        """Tell a waiting chain worm that ``node`` finished its local
+        invalidation for transaction ``txn``."""
+        self.routers[node].interface.chain_done.add((txn, node))
+        self.busy.add(node)
+        self._wake()
+
+    def neighbor_router(self, node: int, port: Port) -> Router:
+        """Adjacent router through ``port`` (must exist)."""
+        neighbor = self.mesh.neighbor(node, port)
+        assert neighbor is not None, "routed off the mesh edge"
+        return self.routers[neighbor]
+
+    @staticmethod
+    def gather_key(worm: Worm, node: int) -> tuple:
+        """i-ack buffer key an i-gather worm uses at ``node``."""
+        return (worm.txn, worm.pickup_level)
+
+    def idle(self) -> bool:
+        """True when no router has work pending."""
+        return not self.busy
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _default_deliver(self, node: int, worm: Worm, final: bool) -> None:
+        self.delivered_log.append((self.sim.now, node, worm, final))
+
+    def deliver_chain(self, node: int, worm: Worm) -> None:
+        """Intermediate chain-worm delivery (header has arrived)."""
+        handler = self.on_chain_deliver
+        self.sim.call_at(self.sim.now, lambda: handler(node, worm))
+
+    def _deliver(self, node: int, worm: Worm, final: bool) -> None:
+        if final:
+            worm.delivered_at = self.sim.now
+            self.delivered += 1
+            assert worm.injected_at is not None
+            self.latency[worm.kind].add(self.sim.now - worm.injected_at)
+        handler = self.on_deliver
+        self.sim.call_at(self.sim.now, lambda: handler(node, worm, final))
+
+    def _reinject(self, node: int, worm: Worm) -> None:
+        """Resume a parked worm from this router's local port (it bypasses
+        the node's outgoing controller: the router interface re-injects)."""
+        self.routers[node].inject_queue[worm.vnet].appendleft(worm)
+        self.busy.add(node)
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._idle_event is not None and not self._idle_event.triggered:
+            self._idle_event.succeed()
+
+    def _clock(self):
+        while True:
+            if not self.busy:
+                self._idle_event = self.sim.event("network.idle")
+                yield self._idle_event
+                self._idle_event = None
+                continue
+            self.step()
+            yield Timeout(1)
+
+    # ------------------------------------------------------------------
+    # One network cycle
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance every busy router by one cycle (three phases)."""
+        self.cycles_stepped += 1
+        order = sorted(self.busy)
+        routers = self.routers
+        for nid in order:
+            routers[nid].phase_decide(self)
+        self.pending_moves = []
+        for nid in order:
+            routers[nid].phase_select(self)
+        moved = bool(self.pending_moves)
+        for move in self.pending_moves:
+            self._apply(move)
+        self.pending_moves = []
+        for nid in order:
+            if routers[nid].is_quiescent():
+                self.busy.discard(nid)
+        if moved:
+            self._stalled_cycles = 0
+        elif self.busy and not self._any_routing(order):
+            self._stalled_cycles += 1
+            if self._stalled_cycles >= self.deadlock_threshold:
+                self._report_deadlock()
+
+    def _any_routing(self, order) -> bool:
+        from repro.network.router import VCState
+        for nid in order:
+            for vc in self.routers[nid]._vc_list:
+                if vc.state is VCState.ROUTING:
+                    return True
+        return False
+
+    def _report_deadlock(self) -> None:
+        from repro.network.router import VCState
+        from repro.sim.engine import SimulationError
+        blocked = []
+        for nid in sorted(self.busy):
+            for vc in self.routers[nid]._vc_list:
+                if vc.worm is not None and vc.state is VCState.DECIDE:
+                    blocked.append(f"node {nid}: {vc.worm!r}")
+        raise SimulationError(
+            f"network deadlock: no flit moved for "
+            f"{self.deadlock_threshold} cycles at cycle {self.sim.now}; "
+            f"blocked worms: {blocked[:8]} "
+            f"(hold-and-wait on consumption channels / i-ack buffers — "
+            f"increase iack_buffers or consumption_channels)")
+
+    def _apply(self, move: tuple) -> None:
+        kind = move[0]
+        if kind == "fwd":
+            _, router, vc, port, neighbor, dst_vc = move
+            flit = vc.buffer.popleft()
+            worm, idx = flit
+            dst_vc.buffer.append(flit)
+            neighbor.activate_vc(dst_vc)
+            self.busy.add(neighbor.node)
+            worm.flit_hops += 1
+            self.total_flit_hops += 1
+            link = (router.node, port)
+            self.link_use[link] = self.link_use.get(link, 0) + 1
+            if idx == worm.size_flits - 1:  # tail left this router
+                if vc.absorb:
+                    router.interface.release_cc()
+                    # Chain worms already delivered at header time (the
+                    # node's invalidation gated this worm's progress).
+                    if worm.kind is not WormKind.CHAIN:
+                        self._deliver(router.node, worm, final=False)
+                router.release_output(vc)
+                vc.reset_control()
+        elif kind == "consume":
+            _, router, vc = move
+            worm, idx = vc.buffer.popleft()
+            if idx == worm.size_flits - 1:
+                router.interface.release_cc()
+                router.release_sink(vc)
+                vc.reset_control()
+                self._deliver(router.node, worm, final=True)
+        elif kind == "park":
+            _, router, vc = move
+            worm, idx = vc.buffer.popleft()
+            if idx == worm.size_flits - 1:
+                router.release_sink(vc)
+                vc.reset_control()
+                key = self.gather_key(worm, router.node)
+                released = router.interface.iack.finish_park_drain(key)
+                if released is not None:
+                    self._reinject(router.node, released)
+        elif kind == "inject":
+            _, router, vnet = move
+            router.apply_inject(vnet, self)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown move {kind!r}")

@@ -1,0 +1,376 @@
+"""Cycle-level wormhole router with multidestination worm support.
+
+Each router has five ports (N, S, E, W, LOCAL), one input virtual channel
+per (port, virtual network), and single-flit-per-cycle output links shared
+by the virtual networks.  The pipeline per worm and router is:
+
+1. header flit reaches the head of an input VC  →  ``ROUTING`` for
+   ``router_delay`` cycles (the 20 ns routing decision);
+2. ``DECIDE``: interface actions resolve — i-ack reservations, gather
+   pickups or parking, consumption-channel acquisition, chain waits, and
+   output-channel allocation.  Every acquired resource is held while the
+   worm stalls (hold-and-wait, as in real wormhole switching);
+3. ``FORWARD`` / ``CONSUME`` / ``PARK``: flits stream one per cycle.
+
+Worm kinds map onto interface behaviour as documented in
+:mod:`repro.network.worm`.  The router never moves a flit more than one
+hop per cycle because move *selection* (phase 2) is separated from move
+*application* (phase 3) by the network's step loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Optional, TYPE_CHECKING
+
+from repro.network.interface import RouterInterface
+from repro.network.topology import MESH_PORTS, OPPOSITE, Port
+from repro.network.worm import Worm, WormKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import MeshNetwork
+
+
+class VCState(Enum):
+    """Input virtual-channel control states."""
+
+    IDLE = "idle"
+    ROUTING = "routing"
+    DECIDE = "decide"
+    FORWARD = "forward"
+    CONSUME = "consume"
+    PARK = "park"
+
+
+class InputVC:
+    """One input virtual channel: flit FIFO plus control state."""
+
+    __slots__ = ("port", "vnet", "buffer", "state", "countdown", "worm",
+                 "out_port", "absorb", "ctx", "in_active")
+
+    def __init__(self, port: Port, vnet: int) -> None:
+        self.port = port
+        self.vnet = vnet
+        #: FIFO of ``(worm, flit_index)``; index 0 is the header,
+        #: ``size_flits - 1`` the tail.
+        self.buffer: deque[tuple[Worm, int]] = deque()
+        self.state = VCState.IDLE
+        self.countdown = 0
+        self.worm: Optional[Worm] = None
+        self.out_port: Optional[Port] = None
+        self.absorb = False
+        #: DECIDE bookkeeping so retries never double-acquire resources.
+        self.ctx: dict = {}
+        #: True while registered in the router's active-VC set.
+        self.in_active = False
+
+    def reset_control(self) -> None:
+        """Return to IDLE after the current worm's tail left this VC."""
+        self.state = VCState.IDLE
+        self.countdown = 0
+        self.worm = None
+        self.out_port = None
+        self.absorb = False
+        self.ctx = {}
+
+    def head_is_tail(self) -> bool:
+        """True when the flit at the buffer head is its worm's tail."""
+        worm, idx = self.buffer[0]
+        return idx == worm.size_flits - 1
+
+
+class Router:
+    """One mesh router plus its processor-side interface."""
+
+    def __init__(self, node: int, x: int, y: int, num_vnets: int,
+                 vc_depth: int, router_delay: int,
+                 interface: RouterInterface) -> None:
+        self.node = node
+        self.x = x
+        self.y = y
+        self.num_vnets = num_vnets
+        self.vc_depth = vc_depth
+        self.router_delay = router_delay
+        self.interface = interface
+        ports = list(MESH_PORTS) + [Port.LOCAL]
+        self.in_vcs: dict[tuple[Port, int], InputVC] = {
+            (p, v): InputVC(p, v) for p in ports for v in range(num_vnets)}
+        #: Flat VC list, cached for the per-cycle scans.
+        self._vc_list = list(self.in_vcs.values())
+        #: Which input VC currently owns each outgoing virtual channel.
+        self.out_owner: dict[tuple[Port, int], Optional[InputVC]] = {
+            (p, v): None for p in MESH_PORTS for v in range(num_vnets)}
+        #: Round-robin pointer per output port for switch arbitration.
+        self._rr: dict[Port, int] = {p: 0 for p in MESH_PORTS}
+        #: Per-vnet injection queues and the worm currently serializing in.
+        self.inject_queue: dict[int, deque[Worm]] = {
+            v: deque() for v in range(num_vnets)}
+        self._inject_active: dict[int, Optional[tuple[Worm, int]]] = {
+            v: None for v in range(num_vnets)}
+        #: Downstream (neighbor router, input VC) per mesh output channel;
+        #: filled by the network once all routers exist.
+        self.links: dict[tuple[Port, int], tuple["Router", InputVC]] = {}
+        #: VCs with work (non-empty buffer or non-IDLE state), in
+        #: activation order — the per-cycle scans only touch these.
+        self._active_vcs: dict[InputVC, None] = {}
+        #: Outgoing virtual channels currently owned (phase_select skips
+        #: the port loop when zero).
+        self._owned = 0
+        #: VCs draining into the interface (CONSUME/PARK).
+        self._sinks = 0
+
+    def activate_vc(self, vc: InputVC) -> None:
+        """Register a VC that just received work."""
+        if not vc.in_active:
+            vc.in_active = True
+            self._active_vcs[vc] = None
+
+    # ------------------------------------------------------------------
+    # Quiescence (for the network's busy-router set)
+    # ------------------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        """True when nothing here needs a cycle step."""
+        if self._active_vcs:
+            return False
+        for v in range(self.num_vnets):
+            if self.inject_queue[v] or self._inject_active[v] is not None:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 1: header routing countdowns and DECIDE resolution
+    # ------------------------------------------------------------------
+    def phase_decide(self, network: "MeshNetwork") -> None:
+        """Phase 1: routing countdowns and DECIDE resolution over the
+        active VCs (activation order = arbitration order)."""
+        retire = None
+        for vc in list(self._active_vcs):
+            if vc.state is VCState.IDLE and not vc.buffer:
+                # Lazy cleanup: the VC went idle last apply phase.
+                if retire is None:
+                    retire = [vc]
+                else:
+                    retire.append(vc)
+                continue
+            if vc.state is VCState.IDLE and vc.buffer:
+                worm, idx = vc.buffer[0]
+                assert idx == 0, "non-header flit at head of idle VC"
+                vc.worm = worm
+                vc.state = VCState.ROUTING
+                # The DECIDE cycle itself accounts for one cycle of the
+                # routing delay, so count down from router_delay - 1.
+                vc.countdown = max(0, self.router_delay - 1)
+                if vc.countdown == 0:
+                    vc.state = VCState.DECIDE
+                    self._resolve(vc, network)
+            elif vc.state is VCState.ROUTING:
+                vc.countdown -= 1
+                if vc.countdown <= 0:
+                    vc.state = VCState.DECIDE
+                    self._resolve(vc, network)
+            elif vc.state is VCState.DECIDE:
+                self._resolve(vc, network)
+        if retire is not None:
+            for vc in retire:
+                vc.in_active = False
+                del self._active_vcs[vc]
+
+    # ------------------------------------------------------------------
+    def _resolve(self, vc: InputVC, network: "MeshNetwork") -> None:
+        """One DECIDE attempt.  May leave the VC in DECIDE (stalled with
+        whatever resources it already holds), or transition it to
+        FORWARD / CONSUME / PARK."""
+        worm = vc.worm
+        assert worm is not None
+        if worm.next_dest != self.node:
+            self._alloc_output(vc, network, worm.next_dest, absorb=False)
+            return
+
+        kind = worm.kind
+        final = worm.at_last_leg
+        if kind is WormKind.IGATHER:
+            if final:
+                self._to_consume(vc)
+            else:
+                self._resolve_gather(vc, network, worm)
+            return
+        if kind is WormKind.CHAIN and not final:
+            self._resolve_chain(vc, network, worm)
+            return
+        # UNICAST / MULTICAST / IRESERVE (+ CHAIN at its final stop).
+        if kind is WormKind.IRESERVE and not vc.ctx.get("reserved"):
+            if not self._do_reservations(worm):
+                return  # buffer full; retry next cycle
+            vc.ctx["reserved"] = True
+        if final:
+            self._to_consume(vc)
+            return
+        # Intermediate destination of MULTICAST / IRESERVE.
+        delivers = worm.delivers_at(self.node)
+        if delivers and not vc.ctx.get("cc"):
+            if not self.interface.try_acquire_cc():
+                return  # no consumption channel; retry next cycle
+            vc.ctx["cc"] = True
+        next_dest = worm.dests[worm.ptr + 1]
+        if self._alloc_output(vc, network, next_dest, absorb=delivers):
+            worm.advance()
+
+    def _resolve_gather(self, vc: InputVC, network: "MeshNetwork",
+                        worm: Worm) -> None:
+        """i-gather worm at an intermediate destination: pick the ack up,
+        or park (deferred delivery), or stall."""
+        key = network.gather_key(worm, self.node)
+        if not vc.ctx.get("picked"):
+            count = self.interface.iack.try_pickup(key)
+            if count is None:
+                if network.params.deferred_delivery:
+                    if self.interface.iack.try_park(key, worm):
+                        worm.advance()
+                        vc.state = VCState.PARK
+                        self._sinks += 1
+                    # else: file full, stall in place and retry.
+                return
+            worm.acks_carried += count
+            vc.ctx["picked"] = True
+        next_dest = worm.dests[worm.ptr + 1]
+        if self._alloc_output(vc, network, next_dest, absorb=False):
+            worm.advance()
+
+    def _resolve_chain(self, vc: InputVC, network: "MeshNetwork",
+                       worm: Worm) -> None:
+        """SCI-style chained worm: deliver, then wait for the local cache
+        invalidation to complete before moving on [11]."""
+        if not vc.ctx.get("cc"):
+            if not self.interface.try_acquire_cc():
+                return
+            vc.ctx["cc"] = True
+        if not vc.ctx.get("delivered"):
+            vc.ctx["delivered"] = True
+            network.deliver_chain(self.node, worm)
+        if (worm.txn, self.node) not in self.interface.chain_done:
+            return  # local invalidation still in progress
+        self.interface.chain_done.discard((worm.txn, self.node))
+        next_dest = worm.dests[worm.ptr + 1]
+        if self._alloc_output(vc, network, next_dest, absorb=True):
+            worm.advance()
+
+    def _do_reservations(self, worm: Worm) -> bool:
+        """All i-ack reservations this i-reserve worm makes here.
+
+        Level 0 (the sharer's own ack slot) at delivery destinations;
+        level 1 (a column-combined slot for hierarchical gathering) at
+        reservation-only destinations.  All-or-nothing is unnecessary:
+        re-reserving an already-reserved key is idempotent, so a partial
+        success simply retries the remainder next cycle.
+        """
+        iack = self.interface.iack
+        if worm.delivers_at(self.node) and self.node not in worm.no_reserve:
+            if not iack.try_reserve((worm.txn, 0)):
+                return False
+        if self.node in worm.reserve_only or self.node in worm.extra_reserve:
+            if not iack.try_reserve((worm.txn, 1)):
+                return False
+        return True
+
+    def _to_consume(self, vc: InputVC) -> None:
+        """Final destination: acquire a consumption channel and drain."""
+        if not vc.ctx.get("cc"):
+            if not self.interface.try_acquire_cc():
+                return
+            vc.ctx["cc"] = True
+        vc.state = VCState.CONSUME
+        self._sinks += 1
+
+    def _alloc_output(self, vc: InputVC, network: "MeshNetwork",
+                      dest: int, absorb: bool) -> bool:
+        """Claim an outgoing virtual channel toward ``dest``.
+
+        Deterministic routing offers one candidate port; the adaptive
+        west-first model offers several and the first free one wins
+        (stalling on the most-preferred when none is free)."""
+        ports = network.routing.candidates(self.node, dest)
+        assert ports, "output allocation for a worm already at its target"
+        for port in ports:
+            key = (port, vc.vnet)
+            if self.out_owner[key] is None:
+                self.out_owner[key] = vc
+                self._owned += 1
+                vc.out_port = port
+                vc.absorb = absorb
+                vc.state = VCState.FORWARD
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Phase 2: move selection
+    # ------------------------------------------------------------------
+    def phase_select(self, network: "MeshNetwork") -> None:
+        """Phase 2: pick at most one flit per output link, one per
+        interface sink, and one injected flit per virtual network."""
+        moves = network.pending_moves
+        # Outbound links: one flit per output port per cycle, round-robin
+        # across the virtual networks sharing the physical link.
+        out_owner = self.out_owner
+        num_vnets = self.num_vnets
+        for port in (MESH_PORTS if self._owned else ()):
+            start = self._rr[port]
+            for offset in range(num_vnets):
+                vnet = (start + offset) % num_vnets
+                vc = out_owner[(port, vnet)]
+                if vc is None or vc.state is not VCState.FORWARD:
+                    continue
+                if not vc.buffer:
+                    continue
+                neighbor, dst_vc = self.links[(port, vnet)]
+                if len(dst_vc.buffer) >= neighbor.vc_depth:
+                    continue  # no credit downstream
+                moves.append(("fwd", self, vc, port, neighbor, dst_vc))
+                self._rr[port] = (vnet + 1) % num_vnets
+                break
+        # Interface sinks: each CONSUME/PARK VC drains one flit per cycle
+        # through its own consumption channel / buffer path.
+        if self._sinks:
+            for vc in self._active_vcs:
+                state = vc.state
+                if state is VCState.CONSUME:
+                    if vc.buffer:
+                        moves.append(("consume", self, vc))
+                elif state is VCState.PARK and vc.buffer:
+                    moves.append(("park", self, vc))
+        # Injection: one flit per cycle per virtual network.
+        for vnet in range(num_vnets):
+            if (self._inject_active[vnet] is None
+                    and not self.inject_queue[vnet]):
+                continue
+            local_vc = self.in_vcs[(Port.LOCAL, vnet)]
+            if len(local_vc.buffer) >= self.vc_depth:
+                continue
+            moves.append(("inject", self, vnet))
+
+    # ------------------------------------------------------------------
+    # Phase 3 helpers (called by the network while applying moves)
+    # ------------------------------------------------------------------
+    def apply_inject(self, vnet: int, network: "MeshNetwork") -> None:
+        """Phase 3 helper: push the next flit of the injecting worm into
+        the local input VC."""
+        active = self._inject_active[vnet]
+        if active is None:
+            worm = self.inject_queue[vnet].popleft()
+            active = (worm, 0)
+        worm, idx = active
+        local_vc = self.in_vcs[(Port.LOCAL, vnet)]
+        local_vc.buffer.append((worm, idx))
+        self.activate_vc(local_vc)
+        idx += 1
+        self._inject_active[vnet] = (worm, idx) if idx < worm.size_flits else None
+
+    def release_output(self, vc: InputVC) -> None:
+        """Free the outgoing VC a forwarding worm held (tail passed)."""
+        assert vc.out_port is not None
+        self.out_owner[(vc.out_port, vc.vnet)] = None
+        self._owned -= 1
+
+    def release_sink(self, vc: InputVC) -> None:
+        """Bookkeeping when a CONSUME/PARK VC finishes draining."""
+        self._sinks -= 1

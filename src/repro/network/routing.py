@@ -1,0 +1,199 @@
+"""Base routing schemes: deterministic e-cube and west-first turn model.
+
+A routing scheme answers one question at each router: through which output
+port(s) may a worm headed for destination ``dst`` leave?  Deterministic
+e-cube returns exactly one port (X fully, then Y [6]); the west-first turn
+model [15] returns the set of *permitted minimal* ports in a fixed
+preference order (all westward hops must come first; turns into west are
+prohibited), and the router picks the first whose channel is free.
+
+The same objects also answer *path conformance* queries for the BRCP model
+(:mod:`repro.brcp`): whether a worm that has already travelled in some
+direction may continue with a given next hop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.network.topology import Mesh2D, OPPOSITE, Port
+
+
+class Routing:
+    """Interface of a base routing scheme R."""
+
+    #: Short identifier used in experiment tables.
+    name: str = "base"
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+
+    def candidates(self, current: int, dst: int) -> list[Port]:
+        """Permitted output ports at ``current`` for a worm headed to
+        ``dst``, in preference order.  Empty list means ``current == dst``.
+        """
+        raise NotImplementedError
+
+    def route_hops(self, src: int, dst: int,
+                   prefer_first: bool = True) -> list[int]:
+        """Node sequence (excluding ``src``) of the route the scheme takes
+        when every preferred channel is free.  Used by the analytical model
+        and by BRCP path construction.
+        """
+        path = []
+        current = src
+        while current != dst:
+            port = self.candidates(current, dst)[0 if prefer_first else -1]
+            nxt = self.mesh.neighbor(current, port)
+            assert nxt is not None, "routing walked off the mesh"
+            path.append(nxt)
+            current = nxt
+        return path
+
+    def turn_allowed(self, incoming: Optional[Port], outgoing: Port) -> bool:
+        """May a worm that *entered* a router through ``incoming`` (an input
+        port, i.e. it was travelling in direction OPPOSITE[incoming]) leave
+        through ``outgoing``?  ``incoming is None`` means injection at the
+        source.  This is the per-hop legality test used to validate BRCP
+        multidestination paths.
+        """
+        raise NotImplementedError
+
+
+class ECubeRouting(Routing):
+    """Dimension-ordered XY routing: resolve X offset fully, then Y [6]."""
+
+    name = "ecube"
+
+    def candidates(self, current: int, dst: int) -> list[Port]:
+        cx, cy = self.mesh.coords(current)
+        dx, dy = self.mesh.coords(dst)
+        if dx > cx:
+            return [Port.EAST]
+        if dx < cx:
+            return [Port.WEST]
+        if dy > cy:
+            return [Port.NORTH]
+        if dy < cy:
+            return [Port.SOUTH]
+        return []
+
+    def turn_allowed(self, incoming: Optional[Port], outgoing: Port) -> bool:
+        if incoming is None:
+            return True
+        travelling = {Port.NORTH: Port.SOUTH, Port.SOUTH: Port.NORTH,
+                      Port.EAST: Port.WEST, Port.WEST: Port.EAST}[incoming]
+        # XY: once travelling along Y, never turn back into X; and no
+        # 180-degree reversals.
+        if travelling in (Port.NORTH, Port.SOUTH):
+            return outgoing == travelling
+        # Travelling along X: may continue straight or turn into Y.
+        if outgoing == {Port.EAST: Port.WEST, Port.WEST: Port.EAST}[travelling]:
+            return False
+        return True
+
+
+class WestFirstRouting(Routing):
+    """West-first turn model [15]: all westward hops first; the two turns
+    into west (N->W and S->W) are prohibited, as are 180-degree
+    reversals.  Eastward traffic routes fully adaptively among the minimal
+    {E, N, S} directions.
+    """
+
+    name = "westfirst"
+
+    def candidates(self, current: int, dst: int) -> list[Port]:
+        cx, cy = self.mesh.coords(current)
+        dx, dy = self.mesh.coords(dst)
+        if dx < cx:
+            # Must complete all west hops before anything else.
+            return [Port.WEST]
+        ports: list[Port] = []
+        if dx > cx:
+            ports.append(Port.EAST)
+        if dy > cy:
+            ports.append(Port.NORTH)
+        elif dy < cy:
+            ports.append(Port.SOUTH)
+        return ports
+
+    def turn_allowed(self, incoming: Optional[Port], outgoing: Port) -> bool:
+        if incoming is None:
+            return True
+        travelling = {Port.NORTH: Port.SOUTH, Port.SOUTH: Port.NORTH,
+                      Port.EAST: Port.WEST, Port.WEST: Port.EAST}[incoming]
+        # No 180-degree reversal.
+        if outgoing == {Port.NORTH: Port.SOUTH, Port.SOUTH: Port.NORTH,
+                        Port.EAST: Port.WEST, Port.WEST: Port.EAST}[travelling]:
+            return False
+        # The only prohibited turns are into west from a Y direction.
+        if outgoing == Port.WEST and travelling in (Port.NORTH, Port.SOUTH):
+            return False
+        return True
+
+
+class FullyAdaptiveRouting(Routing):
+    """Minimal fully-adaptive routing [7]: any productive direction at
+    every hop; only 180-degree reversals are banned.
+
+    Duato's theory makes this deadlock-free with escape virtual channels,
+    which this model does not simulate separately — the request/reply
+    virtual networks double as the escape resource for the light loads
+    studied here (documented deviation).  Its value for the paper is the
+    extra BRCP flexibility: a worm may cover destinations along *any*
+    monotone (diagonal) chain, not just rows and columns.
+    """
+
+    name = "adaptive"
+
+    def candidates(self, current: int, dst: int) -> list[Port]:
+        cx, cy = self.mesh.coords(current)
+        dx, dy = self.mesh.coords(dst)
+        ports: list[Port] = []
+        # Prefer the dimension with the larger remaining offset, so the
+        # deterministic tie-break keeps paths roughly diagonal.
+        xport = Port.EAST if dx > cx else Port.WEST if dx < cx else None
+        yport = Port.NORTH if dy > cy else Port.SOUTH if dy < cy else None
+        if abs(dx - cx) >= abs(dy - cy):
+            ports = [p for p in (xport, yport) if p is not None]
+        else:
+            ports = [p for p in (yport, xport) if p is not None]
+        return ports
+
+    def turn_allowed(self, incoming: Optional[Port], outgoing: Port) -> bool:
+        if incoming is None:
+            return True
+        travelling = OPPOSITE[incoming]
+        return outgoing != OPPOSITE[travelling]
+
+
+_SCHEMES = {cls.name: cls for cls in (ECubeRouting, WestFirstRouting,
+                                      FullyAdaptiveRouting)}
+
+
+def make_routing(name: str, mesh: Mesh2D) -> Routing:
+    """Factory: ``"ecube"`` or ``"westfirst"``."""
+    try:
+        return _SCHEMES[name](mesh)
+    except KeyError:
+        raise ValueError(f"unknown routing scheme {name!r}; "
+                         f"choose from {sorted(_SCHEMES)}") from None
+
+
+def walk_is_conformant(routing: Routing,
+                       nodes: Sequence[int]) -> bool:
+    """True iff the *hop-by-hop* node walk (adjacent nodes, starting at the
+    source) only uses turns the base routing permits.  This is the BRCP
+    validity test at the level of a concrete walk.
+    """
+    mesh = routing.mesh
+    incoming: Optional[Port] = None
+    for here, there in zip(nodes, nodes[1:]):
+        if mesh.manhattan(here, there) != 1:
+            raise ValueError(f"walk {here}->{there} is not a single hop")
+        out = mesh.port_towards(here, there)
+        if not routing.turn_allowed(incoming, out):
+            return False
+        from repro.network.topology import OPPOSITE
+        incoming = OPPOSITE[out]
+    return True

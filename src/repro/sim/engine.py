@@ -1,0 +1,205 @@
+"""Event list, clock, and waitable events.
+
+The simulator is a classic calendar of ``(time, seq, callback)`` entries in
+a binary heap.  ``seq`` is a monotonically increasing tie-breaker so that
+entries scheduled at the same cycle fire in schedule order, which makes
+every run exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Event:
+    """A one-shot waitable occurrence.
+
+    Processes wait on an event by yielding it; any number of processes and
+    plain callbacks may wait.  An event fires at most once, carrying an
+    optional value, via :meth:`succeed` (immediately, at the current cycle)
+    or :meth:`schedule` (after a delay).
+    """
+
+    __slots__ = ("sim", "name", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires (immediately if fired)."""
+        if self.triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event now.  Idempotence is an error: events are one-shot."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        return self
+
+    def schedule(self, delay: int, value: Any = None) -> "Event":
+        """Fire the event ``delay`` cycles from now."""
+        self.sim.call_at(self.sim.now + delay, lambda: self.succeed(value))
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of child
+    values in construction order.  Useful for 'all acknowledgments in'."""
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event],
+                 name: str = "all_of") -> None:
+        super().__init__(sim, name)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            # Degenerate: fire on the next delta so waiters can attach.
+            sim.call_at(sim.now, lambda: self.succeed([]))
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, _event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event fires; value is that child's value."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event],
+                 name: str = "any_of") -> None:
+        super().__init__(sim, name)
+        for child in events:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not self.triggered:
+            self.succeed(event.value)
+
+
+class Timeout:
+    """Yieldable request to suspend the current process for ``delay`` cycles."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = int(delay)
+
+
+class Simulator:
+    """The event calendar and simulated clock (integer network cycles)."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        #: Number of callbacks dispatched; a cheap progress / cost metric.
+        self.dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, when: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute cycle ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule into the past "
+                                  f"({when} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (int(when), self._seq, fn))
+
+    def call_after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        self.call_at(self.now + delay, fn)
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    def timeout_event(self, delay: int, value: Any = None,
+                      name: str = "timeout") -> Event:
+        """An event that fires ``delay`` cycles from now."""
+        return self.event(name).schedule(delay, value)
+
+    def spawn(self, generator, name: str = "process"):
+        """Start a new :class:`~repro.sim.process.Process` from a generator."""
+        from repro.sim.process import Process
+        return Process(self, generator, name)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Dispatch events until the calendar drains, the clock passes
+        ``until``, or ``max_events`` callbacks have run.
+
+        Returns the final clock value.
+        """
+        dispatched_at_entry = self.dispatched
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            self.dispatched += 1
+            fn()
+            if (max_events is not None
+                    and self.dispatched - dispatched_at_entry >= max_events):
+                break
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return self.now
+
+    def run_until_event(self, event: Event,
+                        limit: Optional[int] = None) -> Any:
+        """Run until ``event`` fires; returns its value.
+
+        Raises :class:`SimulationError` if the calendar drains (or the
+        optional cycle ``limit`` passes) first — that means deadlock or a
+        lost wakeup in the model, which should never be silent.
+        """
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"event {event.name!r} never fired: calendar empty at "
+                    f"cycle {self.now} (model deadlock?)")
+            when = self._heap[0][0]
+            if limit is not None and when > limit:
+                raise SimulationError(
+                    f"event {event.name!r} not fired by cycle limit {limit}")
+            self.run(max_events=1)
+        return event.value
+
+    def peek(self) -> Optional[int]:
+        """Cycle of the next scheduled callback, or None if drained."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,178 @@
+"""Statistics collectors for the simulation.
+
+Small, dependency-free accumulators in the style of CSIM's tables:
+:class:`Tally` for per-sample statistics (Welford online variance),
+:class:`TimeWeighted` for piecewise-constant signals (queue lengths,
+busy-unit counts), and :class:`Histogram` for distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Tally:
+    """Online count / mean / variance / extrema of a sample stream."""
+
+    __slots__ = ("name", "n", "total", "_mean", "_m2", "min", "max")
+
+    def __init__(self, name: str = "tally") -> None:
+        self.name = name
+        self.n = 0
+        self.total = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.n += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with < 2 samples)."""
+        return self._m2 / self.n if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "Tally") -> None:
+        """Fold another tally into this one (parallel-variance formula)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self.total = other.n, other.total
+            self._mean, self._m2 = other._mean, other._m2
+            self.min, self.max = other.min, other.max
+            return
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.total += other.total
+        self.n = n
+        self.min = min(self.min, other.min)  # type: ignore[type-var]
+        self.max = max(self.max, other.max)  # type: ignore[type-var]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Tally {self.name!r} n={self.n} mean={self.mean:.2f} "
+                f"min={self.min} max={self.max}>")
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the signal changes; the accumulator
+    integrates the previous level over the elapsed cycles.
+    """
+
+    __slots__ = ("name", "sim", "_level", "_last_change", "_area", "_t0")
+
+    def __init__(self, name: str, sim: "Simulator",
+                 initial: float = 0.0) -> None:
+        self.name = name
+        self.sim = sim
+        self._level = initial
+        self._last_change = sim.now
+        self._t0 = sim.now
+        self._area = 0.0
+
+    @property
+    def level(self) -> float:
+        """Current signal level."""
+        return self._level
+
+    def update(self, level: float) -> None:
+        """Record that the signal becomes ``level`` at the current cycle."""
+        now = self.sim.now
+        self._area += self._level * (now - self._last_change)
+        self._level = level
+        self._last_change = now
+
+    def time_average(self) -> float:
+        """Average level from construction until now."""
+        now = self.sim.now
+        area = self._area + self._level * (now - self._last_change)
+        elapsed = now - self._t0
+        return area / elapsed if elapsed > 0 else self._level
+
+
+class Histogram:
+    """Fixed-width bin histogram with under/overflow buckets."""
+
+    __slots__ = ("name", "low", "width", "bins", "underflow", "overflow",
+                 "tally")
+
+    def __init__(self, name: str, low: float, high: float,
+                 nbins: int) -> None:
+        if nbins < 1 or high <= low:
+            raise ValueError("need high > low and nbins >= 1")
+        self.name = name
+        self.low = low
+        self.width = (high - low) / nbins
+        self.bins = [0] * nbins
+        self.underflow = 0
+        self.overflow = 0
+        self.tally = Tally(f"{name}.tally")
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.tally.add(value)
+        if value < self.low:
+            self.underflow += 1
+            return
+        index = int((value - self.low) / self.width)
+        if index >= len(self.bins):
+            self.overflow += 1
+        else:
+            self.bins[index] += 1
+
+    @property
+    def n(self) -> int:
+        """Total samples recorded (including out-of-range)."""
+        return self.tally.n
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (0..1) from bin midpoints."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.n == 0:
+            return 0.0
+        target = q * self.n
+        seen = self.underflow
+        if seen >= target and self.underflow:
+            return self.low
+        for i, count in enumerate(self.bins):
+            seen += count
+            if seen >= target:
+                return self.low + (i + 0.5) * self.width
+        return self.low + len(self.bins) * self.width
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """One-shot summary of a sequence: n / mean / stdev / min / max."""
+    t = Tally()
+    for v in values:
+        t.add(v)
+    return {"n": t.n, "mean": t.mean, "stdev": t.stdev,
+            "min": t.min, "max": t.max}

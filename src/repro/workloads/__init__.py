@@ -1,0 +1,35 @@
+"""Workloads: synthetic invalidation patterns and application trace
+generators (paper Sec. 6 / Table 6).
+
+* :mod:`repro.workloads.patterns` — parameterized synthetic sharing
+  patterns (uniform, row-/column-clustered, hot-spot) for the
+  degree-of-sharing sweeps;
+* :mod:`repro.workloads.barnes_hut` — 2-D Barnes-Hut N-body with a real
+  quadtree and multipole acceptance criterion (SPLASH-2's Barnes
+  analogue; paper runs 128 bodies, 4 time steps);
+* :mod:`repro.workloads.lu` — blocked dense LU factorization (SPLASH-2
+  LU; paper runs 128x128 with 8x8 blocks);
+* :mod:`repro.workloads.apsp` — Floyd-Warshall all-pairs shortest paths
+  with row-broadcast sharing (the paper's third application).
+
+Each application provides a *numeric* reference implementation (tested
+against scipy/networkx) and a shared-memory trace generator whose block
+access pattern mirrors the algorithm's true data dependencies; traces are
+replayed execution-driven on :class:`~repro.coherence.DSMSystem`.
+"""
+
+from repro.workloads.patterns import (InvalidationPattern,
+                                      pattern_column_clustered,
+                                      pattern_row_clustered,
+                                      pattern_uniform, sweep_degrees)
+from repro.workloads.traces import BlockAllocator, trace_stats
+
+__all__ = [
+    "BlockAllocator",
+    "InvalidationPattern",
+    "pattern_column_clustered",
+    "pattern_row_clustered",
+    "pattern_uniform",
+    "sweep_degrees",
+    "trace_stats",
+]

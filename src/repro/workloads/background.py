@@ -1,0 +1,82 @@
+"""Background network load generator.
+
+The paper's hot-spot argument is strongest when the network is already
+carrying traffic: the ``2d`` unicast invalidation messages of UI-UA then
+contend with everything else around the home node.  This module injects
+uniform-random unicast control traffic at a configurable rate so
+invalidation experiments can be run under load (experiment E12).
+
+Rates are expressed as the probability per node per network cycle of
+injecting one control message; the classic saturation point of a 2-D
+mesh under uniform traffic bounds useful rates well below ~0.02 for
+6-flit messages on an 8x8 mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.network import MeshNetwork, Worm, WormKind
+from repro.network.worm import VNET_REQUEST
+from repro.sim import Simulator, Timeout
+
+
+class BackgroundTraffic:
+    """Poisson-ish uniform random unicast load on a network.
+
+    One generator process per simulation; each tick it samples, for every
+    node, whether to inject a message to a uniformly random destination.
+    Delivered messages are counted and their latency recorded via the
+    network's per-kind tallies (they are ordinary UNICAST worms with a
+    ``role: background`` payload the coherence layers ignore).
+    """
+
+    def __init__(self, sim: Simulator, net: MeshNetwork, rate: float,
+                 size_flits: Optional[int] = None, seed: int = 99,
+                 vnet: int = VNET_REQUEST) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.sim = sim
+        self.net = net
+        self.rate = rate
+        self.size_flits = size_flits or net.params.control_message_flits
+        self.vnet = vnet
+        self.rng = np.random.default_rng(seed)
+        self.injected = 0
+        self._stopped = False
+        if rate > 0.0:
+            sim.spawn(self._generate(), name="background.traffic")
+
+    def stop(self) -> None:
+        """Stop injecting (in-flight messages still drain)."""
+        self._stopped = True
+
+    def _generate(self):
+        n = self.net.mesh.num_nodes
+        while not self._stopped:
+            # Batch the Bernoulli draws for the whole mesh per cycle.
+            draws = self.rng.random(n) < self.rate
+            sources = np.nonzero(draws)[0]
+            for src in sources:
+                dst = int(self.rng.integers(n - 1))
+                if dst >= src:
+                    dst += 1  # uniform over the other nodes
+                self.net.inject(Worm(
+                    kind=WormKind.UNICAST, src=int(src), dests=(dst,),
+                    size_flits=self.size_flits, vnet=self.vnet,
+                    payload={"role": "background"}))
+                self.injected += 1
+            yield Timeout(1)
+
+
+def delivery_filter(handler):
+    """Wrap a delivery handler so background messages are dropped before
+    it runs (engines raise on unknown transactions otherwise)."""
+    def wrapped(node, worm, final):
+        payload = worm.payload
+        if isinstance(payload, dict) and payload.get("role") == "background":
+            return
+        handler(node, worm, final)
+    return wrapped

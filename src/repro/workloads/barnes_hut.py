@@ -1,0 +1,391 @@
+"""Barnes-Hut N-body (2-D) with shared-memory trace generation.
+
+A real Barnes-Hut implementation — quadtree construction, center-of-mass
+pass, multipole-acceptance-criterion force traversal, leapfrog update —
+whose traversals drive the trace generator: the set of tree nodes a
+processor's bodies *actually visit* is the set of shared blocks it reads,
+so sharing degrees and invalidation patterns come from the physics, just
+as they did when the paper ported SPLASH-2 Barnes onto its simulator
+(128 bodies, 4 time steps).
+
+Memory layout (one 32-byte cache block each, matching the paper's block
+size): a body's state is one block; a tree node (children pointers +
+mass + center of mass) is one block.  The tree region is reused across
+time steps — rebuilding the tree therefore *invalidates* every processor
+that read those nodes in the previous step, which is precisely the
+write-shared traffic the paper's schemes accelerate.
+
+Work distribution per step (barrier-separated phases, as in SPLASH-2):
+
+1. **build** — each processor inserts its bodies; it writes every tree
+   node its insertions create or modify;
+2. **centers of mass** — node ``i`` is summarized by processor
+   ``i mod P`` (reads children, writes the node);
+3. **forces** — each processor traverses the tree per owned body (reads
+   visited nodes and leaf bodies), then writes the body's acceleration;
+4. **update** — each processor writes its bodies' positions/velocities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.traces import BlockAllocator
+
+#: Gravitational constant (natural units) and force softening.
+GRAV = 1.0
+SOFTENING = 1e-3
+
+
+@dataclass
+class BHConfig:
+    """Barnes-Hut run configuration (paper defaults: 128 bodies, 4 steps)."""
+
+    bodies: int = 128
+    steps: int = 4
+    processors: int = 16
+    theta: float = 0.6
+    dt: float = 0.01
+    seed: int = 42
+    #: Maximum quadtree depth (identical positions are jittered instead
+    #: of splitting forever).
+    max_depth: int = 24
+    #: "think" cycles charged per body-node interaction computed.
+    think_per_interaction: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bodies < 2:
+            raise ValueError("need at least two bodies")
+        if self.processors < 1 or self.processors > self.bodies:
+            raise ValueError("processors must be in [1, bodies]")
+
+
+class _Node:
+    """Quadtree node.  ``body`` >= 0 marks a leaf holding one body."""
+
+    __slots__ = ("cx", "cy", "half", "children", "body", "mass",
+                 "com_x", "com_y", "index")
+
+    def __init__(self, cx: float, cy: float, half: float,
+                 index: int) -> None:
+        self.cx = cx
+        self.cy = cy
+        self.half = half
+        self.children: Optional[list[Optional[int]]] = None
+        self.body: int = -1
+        self.mass = 0.0
+        self.com_x = 0.0
+        self.com_y = 0.0
+        self.index = index
+
+
+class QuadTree:
+    """Quadtree over 2-D bodies, recording per-body insertion paths."""
+
+    def __init__(self, positions: np.ndarray, masses: np.ndarray,
+                 max_depth: int = 24) -> None:
+        self.positions = positions
+        self.masses = masses
+        self.max_depth = max_depth
+        self.nodes: list[_Node] = []
+        #: insertion_paths[b] = node indices written while inserting b.
+        self.insertion_paths: list[list[int]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _new_node(self, cx: float, cy: float, half: float) -> int:
+        node = _Node(cx, cy, half, len(self.nodes))
+        self.nodes.append(node)
+        return node.index
+
+    def _build(self) -> None:
+        xs, ys = self.positions[:, 0], self.positions[:, 1]
+        cx = (xs.min() + xs.max()) / 2.0
+        cy = (ys.min() + ys.max()) / 2.0
+        half = max(xs.max() - xs.min(), ys.max() - ys.min()) / 2.0
+        half = max(half, 1e-9) * 1.0001
+        self.root = self._new_node(cx, cy, half)
+        for b in range(len(self.positions)):
+            path: list[int] = []
+            self._insert(self.root, b, path, 0)
+            self.insertion_paths.append(path)
+        self._summarize(self.root)
+
+    def _quadrant(self, node: _Node, x: float, y: float) -> int:
+        return (1 if x >= node.cx else 0) | (2 if y >= node.cy else 0)
+
+    def _child_center(self, node: _Node, q: int) -> tuple[float, float, float]:
+        h = node.half / 2.0
+        cx = node.cx + (h if q & 1 else -h)
+        cy = node.cy + (h if q & 2 else -h)
+        return cx, cy, h
+
+    def _insert(self, index: int, b: int, path: list[int],
+                depth: int) -> None:
+        node = self.nodes[index]
+        path.append(index)
+        x, y = self.positions[b]
+        if node.children is None and node.body < 0 and node.mass == 0.0:
+            node.body = b  # empty leaf takes the body
+            node.mass = self.masses[b]
+            return
+        if node.children is None and node.body >= 0:
+            if depth >= self.max_depth:
+                # Coincident bodies: aggregate in this leaf (the mass
+                # pass treats it as a composite leaf).
+                node.mass += self.masses[b]
+                return
+            # Split: push the resident body down, then fall through.
+            resident = node.body
+            node.body = -1
+            node.children = [None, None, None, None]
+            rq = self._quadrant(node, *self.positions[resident])
+            ccx, ccy, ch = self._child_center(node, rq)
+            child = self._new_node(ccx, ccy, ch)
+            node.children[rq] = child
+            rpath: list[int] = []
+            self._insert(child, resident, rpath, depth + 1)
+            # The resident body's owner also wrote those nodes; charge
+            # them to the *inserting* body's path (single-writer
+            # approximation of the lock-protected shared insert).
+            path.extend(rpath)
+        q = self._quadrant(node, x, y)
+        assert node.children is not None
+        child = node.children[q]
+        if child is None:
+            ccx, ccy, ch = self._child_center(node, q)
+            child = self._new_node(ccx, ccy, ch)
+            node.children[q] = child
+        self._insert(child, b, path, depth + 1)
+
+    def _summarize(self, index: int) -> tuple[float, float, float]:
+        node = self.nodes[index]
+        if node.children is None:
+            if node.body >= 0:
+                node.com_x, node.com_y = self.positions[node.body]
+            return node.mass, node.com_x, node.com_y
+        mass = com_x = com_y = 0.0
+        for child in node.children:
+            if child is None:
+                continue
+            m, x, y = self._summarize(child)
+            mass += m
+            com_x += m * x
+            com_y += m * y
+        node.mass = mass
+        if mass > 0:
+            node.com_x = com_x / mass
+            node.com_y = com_y / mass
+        return mass, node.com_x, node.com_y
+
+    # ------------------------------------------------------------------
+    def force_on(self, b: int, theta: float) -> tuple[float, float,
+                                                      list[int], list[int]]:
+        """Force on body ``b``; returns (fx, fy, visited node indices,
+        leaf body indices touched)."""
+        px, py = self.positions[b]
+        fx = fy = 0.0
+        visited: list[int] = []
+        leaves: list[int] = []
+        stack = [self.root]
+        while stack:
+            index = stack.pop()
+            node = self.nodes[index]
+            if node.mass == 0.0:
+                continue
+            visited.append(index)
+            dx = node.com_x - px
+            dy = node.com_y - py
+            dist2 = dx * dx + dy * dy + SOFTENING
+            if node.children is None:
+                if node.body == b:
+                    continue
+                if node.body >= 0:
+                    leaves.append(node.body)
+                f = GRAV * self.masses[b] * node.mass / dist2
+                r = np.sqrt(dist2)
+                fx += f * dx / r
+                fy += f * dy / r
+                continue
+            size = 2.0 * node.half
+            if size * size < theta * theta * dist2:
+                # Accepted as a multipole.
+                f = GRAV * self.masses[b] * node.mass / dist2
+                r = np.sqrt(dist2)
+                fx += f * dx / r
+                fy += f * dy / r
+            else:
+                for child in node.children:
+                    if child is not None:
+                        stack.append(child)
+        return fx, fy, visited, leaves
+
+
+def direct_forces(positions: np.ndarray,
+                  masses: np.ndarray) -> np.ndarray:
+    """O(n^2) reference forces for accuracy validation."""
+    n = len(positions)
+    forces = np.zeros((n, 2))
+    for i in range(n):
+        d = positions - positions[i]
+        dist2 = (d ** 2).sum(axis=1) + SOFTENING
+        dist2[i] = np.inf
+        f = GRAV * masses[i] * masses / dist2
+        r = np.sqrt(dist2)
+        forces[i, 0] = np.sum(f * d[:, 0] / r)
+        forces[i, 1] = np.sum(f * d[:, 1] / r)
+    return forces
+
+
+def initial_conditions(config: BHConfig) -> tuple[np.ndarray, np.ndarray,
+                                                  np.ndarray]:
+    """Plummer-ish random disc: positions, velocities, masses."""
+    rng = np.random.default_rng(config.seed)
+    radius = np.sqrt(rng.uniform(0.05, 1.0, config.bodies))
+    angle = rng.uniform(0, 2 * np.pi, config.bodies)
+    positions = np.column_stack([radius * np.cos(angle),
+                                 radius * np.sin(angle)])
+    # Mild rotation so the system evolves.
+    speed = 0.3 * np.sqrt(radius)
+    velocities = np.column_stack([-speed * np.sin(angle),
+                                  speed * np.cos(angle)])
+    masses = rng.uniform(0.5, 1.5, config.bodies)
+    return positions, velocities, masses
+
+
+@dataclass
+class BHStepRecord:
+    """Per-step traversal footprint used by the trace generator."""
+
+    insertion_paths: list[list[int]]
+    visits: list[list[int]]      # per body: tree nodes visited
+    leaf_touches: list[list[int]]  # per body: other bodies touched
+    node_count: int
+
+
+def simulate(config: BHConfig) -> tuple[np.ndarray, list[BHStepRecord]]:
+    """Run the N-body simulation; returns final positions and the
+    per-step traversal records."""
+    positions, velocities, masses = initial_conditions(config)
+    records: list[BHStepRecord] = []
+    accel = np.zeros_like(positions)
+    for _step in range(config.steps):
+        tree = QuadTree(positions, masses, config.max_depth)
+        visits, leaf_touches = [], []
+        for b in range(config.bodies):
+            fx, fy, visited, leaves = tree.force_on(b, config.theta)
+            accel[b, 0] = fx / masses[b]
+            accel[b, 1] = fy / masses[b]
+            visits.append(visited)
+            leaf_touches.append(leaves)
+        records.append(BHStepRecord(tree.insertion_paths, visits,
+                                    leaf_touches, len(tree.nodes)))
+        velocities += accel * config.dt
+        positions = positions + velocities * config.dt
+    return positions, records
+
+
+def partition_bodies(bodies: int, processors: int) -> list[range]:
+    """Contiguous body partition (SPLASH-2 uses costzones; contiguous
+    blocks keep ownership deterministic and are close enough for the
+    sharing pattern)."""
+    base = bodies // processors
+    extra = bodies % processors
+    parts, start = [], 0
+    for p in range(processors):
+        count = base + (1 if p < extra else 0)
+        parts.append(range(start, start + count))
+        start += count
+    return parts
+
+
+def generate_traces(config: BHConfig,
+                    node_ids: Sequence[int]) -> tuple[dict[int, list], dict]:
+    """Build per-processor traces from a full simulation.
+
+    ``node_ids`` are the mesh nodes acting as processors (one per
+    processor).  Returns ``(traces, info)``.
+    """
+    if len(node_ids) != config.processors:
+        raise ValueError(f"need {config.processors} node ids, "
+                         f"got {len(node_ids)}")
+    _final, records = simulate(config)
+    max_nodes = max(r.node_count for r in records)
+
+    alloc = BlockAllocator()
+    body_base = alloc.alloc(config.bodies, "bodies")
+    accel_base = alloc.alloc(config.bodies, "accels")
+    tree_base = alloc.alloc(max_nodes, "tree")
+
+    parts = partition_bodies(config.bodies, config.processors)
+    owner_of_body = {}
+    for p, rng_ in enumerate(parts):
+        for b in rng_:
+            owner_of_body[b] = p
+
+    traces: dict[int, list] = {nid: [] for nid in node_ids}
+    barrier_id = 0
+
+    def everyone_barrier():
+        nonlocal barrier_id
+        for nid in node_ids:
+            traces[nid].append(("barrier", barrier_id))
+        barrier_id += 1
+
+    for record in records:
+        # Phase 1: tree build — each proc writes the nodes its bodies'
+        # insertions touched (deduplicated per proc, order preserved).
+        for p, nid in enumerate(node_ids):
+            seen: set[int] = set()
+            t = traces[nid]
+            for b in parts[p]:
+                t.append(("R", body_base + b))
+                for n in record.insertion_paths[b]:
+                    if n not in seen:
+                        seen.add(n)
+                        t.append(("W", tree_base + n))
+        everyone_barrier()
+        # Phase 2: centers of mass — node i summarized by proc i mod P.
+        for p, nid in enumerate(node_ids):
+            t = traces[nid]
+            for n in range(record.node_count):
+                if n % config.processors == p:
+                    t.append(("W", tree_base + n))
+        everyone_barrier()
+        # Phase 3: forces — read visited nodes and touched leaf bodies,
+        # write own accelerations.
+        for p, nid in enumerate(node_ids):
+            t = traces[nid]
+            for b in parts[p]:
+                interactions = 0
+                seen = set()
+                for n in record.visits[b]:
+                    interactions += 1
+                    if n not in seen:
+                        seen.add(n)
+                        t.append(("R", tree_base + n))
+                for other in record.leaf_touches[b]:
+                    t.append(("R", body_base + other))
+                if config.think_per_interaction:
+                    t.append(("think",
+                              interactions * config.think_per_interaction))
+                t.append(("W", accel_base + b))
+        everyone_barrier()
+        # Phase 4: position update.
+        for p, nid in enumerate(node_ids):
+            t = traces[nid]
+            for b in parts[p]:
+                t.append(("R", accel_base + b))
+                t.append(("W", body_base + b))
+        everyone_barrier()
+
+    info = {
+        "tree_nodes_max": max_nodes,
+        "total_blocks": alloc.total_blocks,
+        "steps": config.steps,
+        "bodies": config.bodies,
+    }
+    return traces, info

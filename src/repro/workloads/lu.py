@@ -1,0 +1,213 @@
+"""Blocked dense LU factorization (SPLASH-2 LU kernel) with traces.
+
+Right-looking blocked LU without pivoting over an ``n x n`` matrix in
+``B x B`` blocks (the paper runs 128x128 with 8x8 blocks).  Matrix blocks
+are distributed 2-D cyclically over a ``pr x pc`` processor grid, the
+SPLASH-2 decomposition.  Per elimination step ``k``:
+
+1. the owner of diagonal block ``(k,k)`` factors it;
+2. (barrier) perimeter owners read the diagonal block and update their
+   row/column blocks;
+3. (barrier) interior owners read their perimeter blocks ``(i,k)`` and
+   ``(k,j)`` and update ``(i,j)``;
+4. (barrier).
+
+Perimeter blocks are each read by a whole row or column of processors
+and rewritten by their owner at the next step — the repeated
+invalidation of O(sqrt(P)) sharers that makes LU a good stress for the
+paper's schemes.
+
+The numeric routine is real (tested by reconstructing ``A = L @ U``);
+the trace generator walks the same dependency structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.traces import BlockAllocator, blocks_for_bytes
+
+
+@dataclass
+class LUConfig:
+    """LU run configuration (paper defaults: n=128, block=8)."""
+
+    n: int = 128
+    block: int = 8
+    processors: int = 16
+    seed: int = 7
+    #: Bytes per matrix element (doubles).
+    elem_bytes: int = 8
+    #: Cache-block size used to map matrix blocks to cache blocks.
+    cache_block_bytes: int = 32
+    #: "think" cycles charged per block-level floating point kernel.
+    think_per_kernel: int = 20
+
+    def __post_init__(self) -> None:
+        if self.n % self.block != 0:
+            raise ValueError("matrix size must be a multiple of the block")
+        pr, pc = grid_shape(self.processors)
+        if pr * pc != self.processors:
+            raise AssertionError("grid factorization failed")
+
+    @property
+    def nblocks(self) -> int:
+        """Blocks per matrix dimension."""
+        return self.n // self.block
+
+    @property
+    def cache_blocks_per_block(self) -> int:
+        """Cache blocks occupied by one matrix block."""
+        return blocks_for_bytes(self.block * self.block * self.elem_bytes,
+                                self.cache_block_bytes)
+
+
+def grid_shape(processors: int) -> tuple[int, int]:
+    """Most-square ``pr x pc`` factorization of the processor count."""
+    pr = int(np.sqrt(processors))
+    while processors % pr != 0:
+        pr -= 1
+    return pr, processors // pr
+
+
+def make_matrix(config: LUConfig) -> np.ndarray:
+    """Random diagonally-dominant matrix (safe to factor unpivoted)."""
+    rng = np.random.default_rng(config.seed)
+    a = rng.uniform(-1.0, 1.0, (config.n, config.n))
+    a += np.eye(config.n) * config.n
+    return a
+
+
+def blocked_lu(a: np.ndarray, block: int) -> np.ndarray:
+    """In-place blocked right-looking LU without pivoting.
+
+    Returns the packed LU factors (unit lower triangle implicit).
+    """
+    a = a.copy()
+    n = a.shape[0]
+    if n % block != 0:
+        raise ValueError("matrix size must be a multiple of the block")
+    nb = n // block
+
+    def sl(i):
+        return slice(i * block, (i + 1) * block)
+
+    for k in range(nb):
+        # Factor the diagonal block (unblocked LU).
+        dk = a[sl(k), sl(k)]
+        for col in range(block - 1):
+            pivot = dk[col, col]
+            if pivot == 0.0:
+                raise ZeroDivisionError("zero pivot: matrix needs pivoting")
+            dk[col + 1:, col] /= pivot
+            dk[col + 1:, col + 1:] -= np.outer(dk[col + 1:, col],
+                                               dk[col, col + 1:])
+        lk = np.tril(dk, -1) + np.eye(block)
+        uk = np.triu(dk)
+        # Perimeter updates.
+        for j in range(k + 1, nb):
+            # U row: solve L_kk X = A_kj.
+            a[sl(k), sl(j)] = np.linalg.solve(lk, a[sl(k), sl(j)])
+        for i in range(k + 1, nb):
+            # L column: solve X U_kk = A_ik.
+            a[sl(i), sl(k)] = np.linalg.solve(uk.T, a[sl(i), sl(k)].T).T
+        # Interior updates.
+        for i in range(k + 1, nb):
+            for j in range(k + 1, nb):
+                a[sl(i), sl(j)] -= a[sl(i), sl(k)] @ a[sl(k), sl(j)]
+    return a
+
+
+def unpack_lu(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split packed factors into (L, U)."""
+    l = np.tril(packed, -1) + np.eye(packed.shape[0])
+    u = np.triu(packed)
+    return l, u
+
+
+def block_owner(i: int, j: int, pr: int, pc: int) -> int:
+    """2-D cyclic owner of matrix block (i, j)."""
+    return (i % pr) * pc + (j % pc)
+
+
+def generate_traces(config: LUConfig,
+                    node_ids: Sequence[int]) -> tuple[dict[int, list], dict]:
+    """Per-processor traces following the blocked-LU dependency walk."""
+    if len(node_ids) != config.processors:
+        raise ValueError(f"need {config.processors} node ids")
+    nb = config.nblocks
+    cb = config.cache_blocks_per_block
+    pr, pc = grid_shape(config.processors)
+
+    alloc = BlockAllocator()
+    base = alloc.alloc(nb * nb * cb, "matrix")
+
+    def cache_blocks(i: int, j: int) -> list[int]:
+        start = base + (i * nb + j) * cb
+        return list(range(start, start + cb))
+
+    traces: dict[int, list] = {nid: [] for nid in node_ids}
+    barrier_id = 0
+
+    def everyone_barrier():
+        nonlocal barrier_id
+        for nid in node_ids:
+            traces[nid].append(("barrier", barrier_id))
+        barrier_id += 1
+
+    def proc_trace(i: int, j: int) -> list:
+        return traces[node_ids[block_owner(i, j, pr, pc)]]
+
+    think = config.think_per_kernel
+    for k in range(nb):
+        # 1. Diagonal factorization by its owner.
+        t = proc_trace(k, k)
+        for b in cache_blocks(k, k):
+            t.append(("R", b))
+        if think:
+            t.append(("think", think))
+        for b in cache_blocks(k, k):
+            t.append(("W", b))
+        everyone_barrier()
+        # 2. Perimeter updates.
+        for j in range(k + 1, nb):
+            t = proc_trace(k, j)
+            for b in cache_blocks(k, k):
+                t.append(("R", b))
+            if think:
+                t.append(("think", think))
+            for b in cache_blocks(k, j):
+                t.append(("W", b))
+        for i in range(k + 1, nb):
+            t = proc_trace(i, k)
+            for b in cache_blocks(k, k):
+                t.append(("R", b))
+            if think:
+                t.append(("think", think))
+            for b in cache_blocks(i, k):
+                t.append(("W", b))
+        everyone_barrier()
+        # 3. Interior updates.
+        for i in range(k + 1, nb):
+            for j in range(k + 1, nb):
+                t = proc_trace(i, j)
+                for b in cache_blocks(i, k):
+                    t.append(("R", b))
+                for b in cache_blocks(k, j):
+                    t.append(("R", b))
+                if think:
+                    t.append(("think", think))
+                for b in cache_blocks(i, j):
+                    t.append(("W", b))
+        everyone_barrier()
+
+    info = {
+        "nblocks": nb,
+        "cache_blocks_per_block": cb,
+        "grid": (pr, pc),
+        "total_blocks": alloc.total_blocks,
+    }
+    return traces, info

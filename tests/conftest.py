@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Hypothesis is derandomized so `pytest tests/` is exactly reproducible
+for every user (property tests explore the same example set on every
+run).  Export ``HYPOTHESIS_PROFILE=explore`` to hunt for new
+counterexamples with fresh randomness.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.register_profile("explore", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -1,0 +1,88 @@
+"""CLI smoke tests (stdout-captured)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_info(capsys):
+    code, out = run_cli(capsys, "info", "--mesh", "4")
+    assert code == 0
+    assert "mesh_width" in out
+    assert "num_nodes (derived)" in out
+    assert "16" in out
+
+
+def test_sweep_simulated(capsys):
+    code, out = run_cli(capsys, "sweep", "--schemes", "ui-ua,mi-ma-ec",
+                        "--degrees", "2,4", "--per-degree", "2",
+                        "--mesh", "4")
+    assert code == 0
+    assert "ui-ua" in out and "mi-ma-ec" in out
+    assert "simulated" in out
+
+
+def test_sweep_analytical(capsys):
+    code, out = run_cli(capsys, "sweep", "--schemes", "ui-ua",
+                        "--degrees", "2", "--per-degree", "2",
+                        "--analytical")
+    assert code == 0
+    assert "analytical" in out
+
+
+def test_sweep_rejects_bad_scheme(capsys):
+    code = main(["sweep", "--schemes", "warp-speed"])
+    assert code == 2
+
+
+def test_tables(capsys):
+    code, out = run_cli(capsys, "tables", "--which", "4")
+    assert code == 0
+    assert "read miss" in out
+    code, out = run_cli(capsys, "tables", "--which", "5")
+    assert code == 0
+    assert "TOTAL (simulated)" in out
+
+
+def test_worms(capsys):
+    code, out = run_cli(capsys, "worms", "--scheme", "mi-ua-tm",
+                        "--home", "4,3", "--sharers", "1,1 6,5")
+    assert code == 0
+    assert "@" in out
+    assert "worm(s)" in out
+
+
+def test_app_small(capsys):
+    code, out = run_cli(capsys, "app", "--name", "apsp", "--scheme",
+                        "mi-ua-ec", "--mesh", "4")
+    assert code == 0
+    assert "apsp" in out
+    assert "execution_cycles" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["transmogrify"])
+
+
+def test_report_scale_validation():
+    from repro.analysis.report import generate_report
+    with pytest.raises(ValueError, match="scale"):
+        generate_report(scale="galactic")
+
+
+def test_report_smoke_scale_generates_full_document():
+    from repro.analysis.report import generate_report
+    text = generate_report(scale="smoke", seed=3)
+    assert "# Reproduction report" in text
+    assert "## Table 4" in text and "## Table 5" in text
+    assert "Invalidation cost vs degree" in text
+    assert "Analytical model vs simulation" in text
+    assert "Application execution time" in text
+    assert "mi-ma-ec" in text

@@ -1,0 +1,61 @@
+"""Configuration parameter tests."""
+
+import pytest
+
+from repro.config import DEFAULT_PARAMETERS, SystemParameters, paper_parameters
+
+
+def test_defaults_match_paper_technology():
+    p = DEFAULT_PARAMETERS
+    assert p.net_cycle_ns == 5.0              # 200 MB/s byte-wide link
+    assert p.proc_cycle == 2                  # 100 MHz processor
+    assert p.router_delay == 4                # 20 ns router
+    assert p.cache_block_bytes == 32
+    assert p.consumption_channels == 4        # deadlock-free bound [39]
+    assert 2 <= p.iack_buffers <= 4           # paper's proposal
+
+
+def test_derived_sizes():
+    p = DEFAULT_PARAMETERS
+    assert p.num_nodes == 64
+    assert p.data_flits == 32
+    assert p.control_message_flits == p.header_flits + p.control_flits
+    assert p.data_message_flits == \
+        p.header_flits + p.control_flits + p.data_flits
+    assert p.multidest_control_flits == \
+        p.header_flits + p.multidest_header_flits + p.control_flits
+
+
+def test_paper_parameters_square_and_rect():
+    p = paper_parameters(16)
+    assert p.mesh_width == 16 and p.mesh_height == 16
+    q = paper_parameters(8, 4)
+    assert q.num_nodes == 32
+
+
+def test_evolve_revalidates():
+    p = DEFAULT_PARAMETERS.evolve(iack_buffers=2)
+    assert p.iack_buffers == 2
+    assert DEFAULT_PARAMETERS.iack_buffers == 4  # original untouched
+    with pytest.raises(ValueError):
+        p.evolve(iack_buffers=0)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("mesh_width", 0),
+    ("num_vnets", 1),
+    ("consumption_channels", 0),
+    ("vc_buffer_depth", 0),
+    ("multidest_encoding", "morse"),
+])
+def test_validation_rejects_bad_values(field, value):
+    with pytest.raises(ValueError):
+        SystemParameters(**{field: value})
+
+
+def test_parameters_hashable_for_caching():
+    a = paper_parameters(8)
+    b = paper_parameters(8)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != a.evolve(iack_buffers=2)

@@ -1,0 +1,62 @@
+"""Bit-exact reproducibility: identical runs produce identical results."""
+
+from repro.analysis.experiments import run_invalidation_sweep
+from repro.config import SystemParameters, paper_parameters
+from repro.coherence import DSMSystem
+from repro.coherence.processor import run_program
+from repro.core import InvalidationEngine, build_plan
+from repro.network import MeshNetwork
+from repro.sim import Simulator
+from repro.workloads import apsp
+
+
+def run_transaction_trace():
+    params = SystemParameters()
+    sim = Simulator()
+    net = MeshNetwork(sim, params, "ecube")
+    engine = InvalidationEngine(sim, net, params)
+    records = []
+    for home, sharers in ((10, [2, 18, 34, 50]), (33, [1, 9, 41]),
+                          (0, [63, 7, 56])):
+        plan = build_plan("mi-ma-ec", net.mesh, home, sharers)
+        r = engine.run(plan, limit=5_000_000)
+        records.append((r.latency, r.total_messages, r.flit_hops,
+                        r.home_occupancy, r.end))
+    return records, net.total_flit_hops, sim.dispatched
+
+
+def test_transactions_bit_exact_across_runs():
+    a = run_transaction_trace()
+    b = run_transaction_trace()
+    assert a == b
+
+
+def test_sweep_bit_exact_across_runs():
+    params = paper_parameters(8)
+    a = run_invalidation_sweep(["ui-ua", "mi-ma-tm"], [4, 12],
+                               per_degree=3, params=params, seed=5)
+    b = run_invalidation_sweep(["ui-ua", "mi-ma-tm"], [4, 12],
+                               per_degree=3, params=params, seed=5)
+    assert a == b
+
+
+def test_application_run_bit_exact():
+    def once():
+        params = paper_parameters(4)
+        sim = Simulator()
+        system = DSMSystem(sim, params, "mi-ma-ec")
+        traces, _ = apsp.generate_traces(
+            apsp.APSPConfig(vertices=10, processors=8), list(range(8)))
+        return run_program(system, traces)
+
+    a, b = once(), once()
+    assert a == b
+
+
+def test_different_seeds_differ():
+    params = paper_parameters(8)
+    a = run_invalidation_sweep(["ui-ua"], [8], per_degree=3,
+                               params=params, seed=1)
+    b = run_invalidation_sweep(["ui-ua"], [8], per_degree=3,
+                               params=params, seed=2)
+    assert a != b

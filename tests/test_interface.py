@@ -1,0 +1,137 @@
+"""Unit tests for the router interface: i-ack buffer file protocol and
+consumption channels."""
+
+import pytest
+
+from repro.network.interface import (IAckBufferFile, IAckProtocolError,
+                                     RouterInterface)
+from repro.network.worm import Worm, WormKind
+
+
+def gather_worm(txn="t"):
+    return Worm(kind=WormKind.IGATHER, src=0, dests=(1,), size_flits=2,
+                txn=txn)
+
+
+def test_reserve_deposit_pickup_roundtrip():
+    f = IAckBufferFile(2)
+    assert f.try_reserve(("t", 0))
+    assert f.free_slots == 1
+    assert f.deposit(("t", 0)) is None
+    assert f.try_pickup(("t", 0)) == 1
+    assert f.free_slots == 2
+    assert f.pickups == 1 and f.deposits == 1
+
+
+def test_reserve_blocks_when_full():
+    f = IAckBufferFile(1)
+    assert f.try_reserve(("a", 0))
+    assert not f.try_reserve(("b", 0))
+    assert f.reserve_blocked == 1
+    # Re-reserving an existing key is idempotent, not blocked.
+    assert f.try_reserve(("a", 0))
+
+
+def test_deposit_requires_reservation():
+    f = IAckBufferFile(2)
+    with pytest.raises(IAckProtocolError, match="without a reservation"):
+        f.deposit(("nope", 0))
+
+
+def test_double_deposit_rejected():
+    f = IAckBufferFile(2)
+    f.try_reserve(("t", 0))
+    f.deposit(("t", 0))
+    with pytest.raises(IAckProtocolError, match="double deposit"):
+        f.deposit(("t", 0))
+
+
+def test_pickup_before_deposit_returns_none():
+    f = IAckBufferFile(2)
+    f.try_reserve(("t", 0))
+    assert f.try_pickup(("t", 0)) is None
+    f.deposit(("t", 0), count=3)
+    assert f.try_pickup(("t", 0)) == 3
+
+
+def test_park_then_deposit_releases_worm():
+    f = IAckBufferFile(2)
+    f.try_reserve(("t", 0))
+    worm = gather_worm()
+    assert f.try_park(("t", 0), worm)
+    # Deposit during the drain window does not release...
+    released = f.deposit(("t", 0), count=2)
+    assert released is None
+    # ...the tail-drain completion does, with the count absorbed.
+    out = f.finish_park_drain(("t", 0))
+    assert out is worm
+    assert worm.acks_carried == 2
+    assert f.free_slots == 2
+
+
+def test_park_completes_drain_before_deposit():
+    f = IAckBufferFile(2)
+    f.try_reserve(("t", 0))
+    worm = gather_worm()
+    f.try_park(("t", 0), worm)
+    assert f.finish_park_drain(("t", 0)) is None  # ack not there yet
+    released = f.deposit(("t", 0), count=1)
+    assert released is worm
+    assert worm.acks_carried == 1
+
+
+def test_park_creates_entry_when_gather_overtakes():
+    f = IAckBufferFile(1)
+    worm = gather_worm()
+    assert f.try_park(("t", 0), worm)  # entry created unreserved
+    assert f.try_reserve(("t", 0))     # late i-reserve marks it reserved
+    f.finish_park_drain(("t", 0))
+    assert f.deposit(("t", 0)) is worm
+
+
+def test_park_blocked_when_full():
+    f = IAckBufferFile(1)
+    f.try_reserve(("other", 0))
+    assert not f.try_park(("t", 0), gather_worm())
+
+
+def test_double_park_rejected():
+    f = IAckBufferFile(2)
+    f.try_park(("t", 0), gather_worm())
+    with pytest.raises(IAckProtocolError, match="already holds"):
+        f.try_park(("t", 0), gather_worm())
+
+
+def test_pickup_of_parked_entry_rejected():
+    f = IAckBufferFile(2)
+    f.try_reserve(("t", 0))
+    f.try_park(("t", 0), gather_worm())
+    f.finish_park_drain(("t", 0))  # parked, no ack yet
+    f._entries[("t", 0)].ready = True  # force the illegal state
+    with pytest.raises(IAckProtocolError, match="parked"):
+        f.try_pickup(("t", 0))
+
+
+def test_finish_park_drain_requires_parked_worm():
+    f = IAckBufferFile(2)
+    with pytest.raises(IAckProtocolError, match="no parked worm"):
+        f.finish_park_drain(("t", 0))
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        IAckBufferFile(0)
+
+
+def test_consumption_channels():
+    iface = RouterInterface(consumption_channels=2, iack_buffers=2)
+    assert iface.try_acquire_cc()
+    assert iface.try_acquire_cc()
+    assert not iface.try_acquire_cc()
+    assert iface.cc_blocked == 1
+    iface.release_cc()
+    assert iface.try_acquire_cc()
+    iface.release_cc()
+    iface.release_cc()
+    with pytest.raises(RuntimeError, match="idle consumption"):
+        iface.release_cc()

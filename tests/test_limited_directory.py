@@ -1,0 +1,133 @@
+"""Limited-pointer (Dir_i B) directory tests: overflow bit and
+broadcast invalidation."""
+
+import pytest
+
+from repro.config import SystemParameters
+from repro.coherence import CacheState, DSMSystem
+from repro.coherence.directory import DirectoryEntry, DirectoryState
+from repro.sim import Simulator
+
+
+def make(pointers, scheme="ui-ua", width=4):
+    sim = Simulator()
+    params = SystemParameters(mesh_width=width, mesh_height=width)
+    return sim, DSMSystem(sim, params, scheme,
+                          directory_pointers=pointers)
+
+
+def run_accesses(sim, system, accesses, limit=5_000_000):
+    def driver():
+        for node, op, block in accesses:
+            yield from system.access(node, op, block)
+
+    proc = sim.spawn(driver(), name="driver")
+    sim.run_until_event(proc.done, limit=limit)
+
+
+# ----------------------------------------------------------------------
+# Entry-level behaviour
+# ----------------------------------------------------------------------
+def test_make_shared_respects_pointer_limit():
+    e = DirectoryEntry(0)
+    e.make_shared({1, 2, 3, 4, 5}, pointer_limit=3)
+    assert len(e.presence) == 3
+    assert e.overflow
+    e.make_exclusive(9)
+    assert not e.overflow
+
+
+def test_make_shared_unlimited_no_overflow():
+    e = DirectoryEntry(0)
+    e.make_shared(set(range(20)))
+    assert len(e.presence) == 20
+    assert not e.overflow
+
+
+def test_existing_pointers_kept_on_update():
+    e = DirectoryEntry(0)
+    e.make_shared({1, 2}, pointer_limit=2)
+    assert not e.overflow
+    e.make_shared({1, 2, 3}, pointer_limit=2)
+    assert e.presence == {1, 2}
+    assert e.overflow
+
+
+def test_pointer_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="directory_pointers"):
+        DSMSystem(sim, SystemParameters(), directory_pointers=0)
+
+
+# ----------------------------------------------------------------------
+# System-level behaviour
+# ----------------------------------------------------------------------
+def test_no_overflow_below_limit():
+    sim, system = make(pointers=4)
+    readers = [0, 1, 2]
+    run_accesses(sim, system, [(r, "R", 5) for r in readers])
+    entry = system.dirs[system.home_of(5)].entry(5)
+    assert entry.presence == set(readers)
+    assert not entry.overflow
+
+
+def test_overflow_triggers_broadcast_invalidation():
+    sim, system = make(pointers=2)
+    readers = [0, 1, 2, 3, 6, 7]          # 6 sharers > 2 pointers
+    accesses = [(r, "R", 5) for r in readers] + [(9, "W", 5)]
+    run_accesses(sim, system, accesses)
+    assert system.broadcast_invalidations == 1
+    # Every reader's copy is gone even though the directory only
+    # tracked two of them.
+    for r in readers:
+        assert system.caches[r].state(5) is None
+    assert system.caches[9].state(5) is CacheState.MODIFIED
+    entry = system.dirs[system.home_of(5)].entry(5)
+    assert entry.state is DirectoryState.EXCLUSIVE
+    assert not entry.overflow
+    system.assert_quiescent()
+    # The broadcast targeted (almost) the whole machine.
+    rec = system.engine.records[0]
+    assert rec.sharers >= system.params.num_nodes - 2
+
+
+@pytest.mark.parametrize("scheme", ["ui-ua", "mi-ua-ec", "mi-ma-ec",
+                                    "mi-ma-tm"])
+def test_broadcast_invalidation_under_all_frameworks(scheme):
+    sim, system = make(pointers=2, scheme=scheme)
+    readers = [0, 1, 2, 3, 6, 7, 10, 12]
+    accesses = [(r, "R", 5) for r in readers] + [(9, "W", 5)]
+    run_accesses(sim, system, accesses)
+    for r in readers:
+        assert system.caches[r].state(5) is None
+    system.assert_quiescent()
+
+
+def test_multidestination_broadcast_cheaper_than_unicast():
+    def messages(scheme):
+        sim, system = make(pointers=2, scheme=scheme, width=8)
+        readers = list(range(0, 24, 3))
+        accesses = [(r, "R", 30) for r in readers] + [(40, "W", 30)]
+        run_accesses(sim, system, accesses, limit=20_000_000)
+        rec = system.engine.records[0]
+        return rec.total_messages, rec.latency
+
+    ui_msgs, ui_lat = messages("ui-ua")
+    mi_msgs, mi_lat = messages("mi-ua-ec")
+    # Broadcasting on a 64-node machine (every node except the writer
+    # and the home, which invalidates locally): 2*62 unicast messages
+    # vs a handful of column worms + acks.
+    assert ui_msgs == 2 * 62
+    assert mi_msgs < ui_msgs * 0.7
+    assert mi_lat < ui_lat
+
+
+def test_sequential_writes_after_overflow_stay_correct():
+    sim, system = make(pointers=2)
+    run_accesses(sim, system, [(r, "R", 5) for r in (0, 1, 2, 3)]
+                 + [(9, "W", 5), (3, "R", 5), (0, "W", 5)])
+    entry = system.dirs[system.home_of(5)].entry(5)
+    assert entry.state is DirectoryState.EXCLUSIVE
+    assert entry.owner == 0
+    assert system.caches[3].state(5) is None
+    system.assert_quiescent()

@@ -1,0 +1,134 @@
+"""Network-wide property tests: flit conservation, ordering, and
+structural invariants under randomized traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemParameters
+from repro.network import MeshNetwork, Worm, WormKind
+from repro.network.router import VCState
+from repro.network.worm import VNET_REPLY, VNET_REQUEST
+from repro.sim import Simulator
+
+
+def drain(sim, net, limit=500_000):
+    while not net.idle():
+        assert sim.now < limit, "network did not drain"
+        if sim.peek() is None:
+            break
+        sim.run(max_events=1)
+    sim.run(until=sim.now)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63),
+                          st.integers(2, 40), st.integers(0, 1)),
+                min_size=1, max_size=25))
+def test_unicast_storm_all_delivered_flits_conserved(messages):
+    sim = Simulator()
+    params = SystemParameters()
+    net = MeshNetwork(sim, params, "ecube")
+    worms = []
+    expected_hops = 0
+    for src, dst, size, vnet in messages:
+        if src == dst:
+            continue
+        w = Worm(kind=WormKind.UNICAST, src=src, dests=(dst,),
+                 size_flits=size, vnet=vnet)
+        worms.append(w)
+        expected_hops += size * net.mesh.manhattan(src, dst)
+        net.inject(w)
+    drain(sim, net)
+    # Every worm delivered exactly once.
+    assert net.delivered == len(worms)
+    # Flit conservation: minimal routes => exact hop counts.
+    assert net.total_flit_hops == expected_hops
+    # All router state returned to idle; all channels free.
+    for r in net.routers:
+        assert r.is_quiescent()
+        assert r.interface.free_cc == r.interface.total_cc
+        for owner in r.out_owner.values():
+            assert owner is None
+        for vc in r._vc_list:
+            assert vc.state is VCState.IDLE and not vc.buffer
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 63), st.integers(0, 63), st.integers(2, 10),
+       st.integers(1, 6))
+def test_same_pair_messages_deliver_in_fifo_order(src, dst, size, count):
+    if src == dst:
+        return
+    sim = Simulator()
+    net = MeshNetwork(sim, SystemParameters(), "ecube")
+    order = []
+    net.on_deliver = lambda node, worm, final: order.append(worm.uid)
+    worms = [Worm(kind=WormKind.UNICAST, src=src, dests=(dst,),
+                  size_flits=size, vnet=VNET_REQUEST)
+             for _ in range(count)]
+    for w in worms:
+        net.inject(w)
+    drain(sim, net)
+    assert order == [w.uid for w in worms]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 63),
+       st.sets(st.integers(0, 63), min_size=2, max_size=6),
+       st.sampled_from(["ecube", "westfirst"]))
+def test_multicast_delivers_exactly_once_per_destination(src, dest_set,
+                                                         routing):
+    dest_set.discard(src)
+    if len(dest_set) < 2:
+        return
+    from repro.brcp.model import is_conformant_path
+    from repro.brcp.paths import staircase_paths
+    from repro.network.routing import make_routing
+    from repro.network.topology import Mesh2D
+
+    mesh = Mesh2D(8, 8)
+    paths = staircase_paths(mesh, src, sorted(dest_set))
+    r = make_routing(routing, mesh)
+    sim = Simulator()
+    net = MeshNetwork(sim, SystemParameters(), routing)
+    delivered = []
+    net.on_deliver = lambda node, worm, final: delivered.append(node)
+    injected_dests = []
+    for path in paths:
+        if routing == "ecube" and not is_conformant_path(r, src, path):
+            return  # staircases are westfirst paths; skip if not ecube-ok
+        net.inject(Worm(kind=WormKind.MULTICAST, src=src,
+                        dests=tuple(path), size_flits=8))
+        injected_dests.extend(path)
+    drain(sim, net)
+    assert sorted(delivered) == sorted(injected_dests)
+
+
+def test_mixed_vnet_storm_with_multicasts_drains_clean():
+    rng = np.random.default_rng(12)
+    sim = Simulator()
+    params = SystemParameters()
+    net = MeshNetwork(sim, params, "ecube")
+    mesh = net.mesh
+    count = 0
+    for _ in range(15):
+        src = int(rng.integers(64))
+        dst = int(rng.integers(64))
+        if src != dst:
+            net.inject(Worm(kind=WormKind.UNICAST, src=src, dests=(dst,),
+                            size_flits=int(rng.integers(2, 38)),
+                            vnet=int(rng.integers(2))))
+            count += 1
+    # A few column multicasts on top.
+    for x in (1, 4, 6):
+        src = mesh.node_at(x, 0)
+        dests = tuple(mesh.node_at(x, y) for y in (2, 5, 7))
+        net.inject(Worm(kind=WormKind.MULTICAST, src=src, dests=dests,
+                        size_flits=8))
+        count += 1
+    drain(sim, net)
+    assert net.delivered == count
+    for r in net.routers:
+        assert r.is_quiescent()
+        assert r.interface.free_cc == r.interface.total_cc

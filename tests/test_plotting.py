@@ -1,0 +1,57 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_chart, chart_from_rows
+
+
+def test_basic_chart_structure():
+    chart = ascii_chart({"a": [(0, 0), (10, 100)],
+                         "b": [(0, 100), (10, 0)]},
+                        title="T", width=40, height=10,
+                        x_label="degree", y_label="cycles")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert "o a" in chart and "x b" in chart
+    assert "x: degree" in chart and "y: cycles" in chart
+    # Axis annotations present.
+    assert "100" in chart and any(l.strip().startswith("0 |")
+                                  for l in lines)
+
+
+def test_markers_at_extremes():
+    chart = ascii_chart({"s": [(0, 0), (4, 4)]}, width=20, height=5)
+    lines = [l for l in chart.splitlines() if "|" in l]
+    assert lines[0].rstrip().endswith("o")    # top-right point
+    assert "|o" in lines[-1]                  # bottom-left point
+
+
+def test_flat_series_does_not_divide_by_zero():
+    chart = ascii_chart({"flat": [(1, 5), (2, 5), (3, 5)]})
+    assert "o flat" in chart
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"a": []})
+
+
+def test_chart_from_rows_groups_series():
+    rows = [
+        {"scheme": "ui-ua", "degree": 1, "latency": 10},
+        {"scheme": "ui-ua", "degree": 2, "latency": 20},
+        {"scheme": "mi-ma-ec", "degree": 1, "latency": 12},
+        {"scheme": "mi-ma-ec", "degree": 2, "latency": 15},
+    ]
+    chart = chart_from_rows(rows, x="degree", y="latency")
+    assert "o ui-ua" in chart
+    assert "x mi-ma-ec" in chart
+    assert chart.splitlines()[0] == "latency vs degree"
+
+
+def test_many_series_cycle_markers():
+    series = {f"s{i}": [(0, i), (1, i + 1)] for i in range(10)}
+    chart = ascii_chart(series)
+    assert "o s0" in chart and "o s8" in chart  # marker cycling

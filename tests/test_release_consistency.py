@@ -1,0 +1,134 @@
+"""Release-consistency extension tests."""
+
+import pytest
+
+from repro.config import SystemParameters
+from repro.coherence import CacheState, DSMSystem
+from repro.coherence.processor import run_program
+from repro.sim import Simulator
+
+
+def make(consistency="rc", scheme="ui-ua"):
+    sim = Simulator()
+    return sim, DSMSystem(sim, SystemParameters(), scheme,
+                          consistency=consistency)
+
+
+def test_consistency_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="consistency"):
+        DSMSystem(sim, SystemParameters(), consistency="tso")
+
+
+def test_rc_write_does_not_block_processor():
+    sim, system = make()
+    times = []
+
+    def driver():
+        yield from system.access(0, "W", 9)    # remote write miss
+        times.append(sim.now)                  # returns before the grant
+        yield from system.drain_writes(0)
+        times.append(sim.now)
+
+    proc = sim.spawn(driver())
+    sim.run_until_event(proc.done, limit=1_000_000)
+    issued, drained = times
+    # Issue returns after local work only; the drain spans the network
+    # round trip.
+    assert drained - issued > 50
+    assert system.caches[0].state(9) is CacheState.MODIFIED
+    system.assert_quiescent()
+
+
+def test_sc_write_blocks_processor():
+    sim, system = make(consistency="sc")
+    times = []
+
+    def driver():
+        yield from system.access(0, "W", 9)
+        times.append(sim.now)
+
+    proc = sim.spawn(driver())
+    sim.run_until_event(proc.done, limit=1_000_000)
+    assert times[0] > 50  # full round trip before the access returns
+
+
+def test_rc_same_block_accesses_serialize_per_location():
+    sim, system = make()
+    order = []
+
+    def driver():
+        yield from system.access(0, "W", 9)
+        order.append(("w-issued", sim.now))
+        # A read of the same block must wait for the outstanding write.
+        yield from system.access(0, "R", 9)
+        order.append(("r-done", sim.now))
+
+    proc = sim.spawn(driver())
+    sim.run_until_event(proc.done, limit=1_000_000)
+    (_, t_w), (_, t_r) = order
+    assert t_r - t_w > 50  # the read absorbed the write's latency
+    system.assert_quiescent()
+
+
+def test_rc_overlaps_independent_writes():
+    blocks = [9, 10, 11, 12]
+
+    def run(consistency):
+        sim, system = make(consistency=consistency)
+
+        def driver():
+            for b in blocks:
+                yield from system.access(0, "W", b)
+            yield from system.drain_writes(0)
+
+        proc = sim.spawn(driver())
+        sim.run_until_event(proc.done, limit=2_000_000)
+        system.assert_quiescent()
+        return sim.now
+
+    rc_time = run("rc")
+    sc_time = run("sc")
+    # Four independent write misses overlap under RC.
+    assert rc_time < sc_time * 0.6
+
+
+def test_rc_program_with_barrier_fence():
+    sim, system = make(scheme="mi-ma-ec")
+    block = 17
+    traces = {
+        0: [("R", block), ("barrier", 0), ("W", block), ("barrier", 1),
+            ("R", block)],
+        1: [("R", block), ("barrier", 0), ("think", 4), ("barrier", 1),
+            ("R", block)],
+        2: [("R", block), ("barrier", 0), ("think", 4), ("barrier", 1),
+            ("R", block)],
+    }
+    stats = run_program(system, traces)
+    # The barrier drained node 0's write before releasing, so the
+    # post-barrier reads see a coherent shared block.
+    entry = system.dirs[system.home_of(block)].entry(block)
+    assert 0 in entry.presence and 1 in entry.presence
+    assert stats["invalidations"] >= 2
+
+
+def test_rc_apsp_faster_than_sc():
+    from repro.workloads import apsp
+
+    def run(consistency):
+        sim = Simulator()
+        params = SystemParameters(mesh_width=4, mesh_height=4)
+        system = DSMSystem(sim, params, "ui-ua", consistency=consistency)
+        traces, _ = apsp.generate_traces(
+            apsp.APSPConfig(vertices=12, processors=8), list(range(8)))
+        return run_program(system, traces)["execution_cycles"]
+
+    assert run("rc") < run("sc")
+
+
+def test_explicit_fence_trace_entry():
+    sim, system = make()
+    traces = {0: [("W", 9), ("fence",), ("W", 10)]}
+    stats = run_program(system, traces)
+    assert stats["misses"] == 2
+    system.assert_quiescent()

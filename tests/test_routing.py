@@ -1,0 +1,142 @@
+"""Unit tests for e-cube and west-first routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.routing import (ECubeRouting, WestFirstRouting,
+                                   make_routing, walk_is_conformant)
+from repro.network.topology import Mesh2D, Port
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(8, 8)
+
+
+# ----------------------------------------------------------------------
+# E-cube
+# ----------------------------------------------------------------------
+def test_ecube_resolves_x_first(mesh):
+    r = ECubeRouting(mesh)
+    src = mesh.node_at(1, 1)
+    dst = mesh.node_at(4, 5)
+    assert r.candidates(src, dst) == [Port.EAST]
+    # Once X matches, move in Y.
+    aligned = mesh.node_at(4, 1)
+    assert r.candidates(aligned, dst) == [Port.NORTH]
+
+
+def test_ecube_at_destination_empty(mesh):
+    r = ECubeRouting(mesh)
+    assert r.candidates(10, 10) == []
+
+
+def test_ecube_route_hops_shape(mesh):
+    r = ECubeRouting(mesh)
+    src, dst = mesh.node_at(1, 1), mesh.node_at(3, 4)
+    hops = r.route_hops(src, dst)
+    coords = [mesh.coords(n) for n in hops]
+    assert coords == [(2, 1), (3, 1), (3, 2), (3, 3), (3, 4)]
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_ecube_route_is_minimal(a, b):
+    mesh = Mesh2D(8, 8)
+    r = ECubeRouting(mesh)
+    hops = r.route_hops(a, b)
+    assert len(hops) == mesh.manhattan(a, b)
+    if hops:
+        assert hops[-1] == b
+
+
+def test_ecube_turns():
+    mesh = Mesh2D(8, 8)
+    r = ECubeRouting(mesh)
+    # Entered from the WEST port => travelling east.
+    assert r.turn_allowed(Port.WEST, Port.EAST)      # straight on
+    assert r.turn_allowed(Port.WEST, Port.NORTH)     # X -> Y turn fine
+    assert not r.turn_allowed(Port.WEST, Port.WEST)  # 180 reversal
+    # Entered from the SOUTH port => travelling north: Y -> X banned.
+    assert r.turn_allowed(Port.SOUTH, Port.NORTH)
+    assert not r.turn_allowed(Port.SOUTH, Port.EAST)
+    assert not r.turn_allowed(Port.SOUTH, Port.WEST)
+    # Injection may go anywhere.
+    assert r.turn_allowed(None, Port.WEST)
+
+
+# ----------------------------------------------------------------------
+# West-first turn model
+# ----------------------------------------------------------------------
+def test_westfirst_goes_west_first(mesh):
+    r = WestFirstRouting(mesh)
+    src = mesh.node_at(5, 5)
+    dst = mesh.node_at(2, 7)
+    assert r.candidates(src, dst) == [Port.WEST]
+
+
+def test_westfirst_adaptive_eastward(mesh):
+    r = WestFirstRouting(mesh)
+    src = mesh.node_at(1, 1)
+    dst = mesh.node_at(4, 6)
+    assert r.candidates(src, dst) == [Port.EAST, Port.NORTH]
+    dst_south = mesh.node_at(4, 0)
+    assert r.candidates(src, dst_south) == [Port.EAST, Port.SOUTH]
+
+
+def test_westfirst_turns():
+    mesh = Mesh2D(8, 8)
+    r = WestFirstRouting(mesh)
+    # Travelling north (entered from SOUTH): may not turn west.
+    assert not r.turn_allowed(Port.SOUTH, Port.WEST)
+    assert r.turn_allowed(Port.SOUTH, Port.EAST)
+    assert r.turn_allowed(Port.SOUTH, Port.NORTH)
+    # Travelling east: all but reversal allowed.
+    assert r.turn_allowed(Port.WEST, Port.NORTH)
+    assert r.turn_allowed(Port.WEST, Port.SOUTH)
+    assert not r.turn_allowed(Port.WEST, Port.WEST)
+    # Travelling west: may continue west or turn off west.
+    assert r.turn_allowed(Port.EAST, Port.WEST)
+    assert r.turn_allowed(Port.EAST, Port.NORTH)
+    assert not r.turn_allowed(Port.EAST, Port.EAST)
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_westfirst_route_is_minimal_and_conformant(a, b):
+    mesh = Mesh2D(8, 8)
+    r = WestFirstRouting(mesh)
+    hops = r.route_hops(a, b)
+    assert len(hops) == mesh.manhattan(a, b)
+    assert walk_is_conformant(r, [a] + hops)
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_ecube_route_is_conformant(a, b):
+    mesh = Mesh2D(8, 8)
+    r = ECubeRouting(mesh)
+    hops = r.route_hops(a, b)
+    assert walk_is_conformant(r, [a] + hops)
+
+
+def test_yx_walk_not_ecube_conformant():
+    mesh = Mesh2D(8, 8)
+    r = ECubeRouting(mesh)
+    # Walk north then east: banned under XY routing.
+    walk = [mesh.node_at(2, 2), mesh.node_at(2, 3), mesh.node_at(3, 3)]
+    assert not walk_is_conformant(r, walk)
+    # Same walk is fine under west-first.
+    assert walk_is_conformant(WestFirstRouting(mesh), walk)
+
+
+def test_make_routing_factory():
+    mesh = Mesh2D(4, 4)
+    assert isinstance(make_routing("ecube", mesh), ECubeRouting)
+    assert isinstance(make_routing("westfirst", mesh), WestFirstRouting)
+    with pytest.raises(ValueError, match="unknown routing"):
+        make_routing("bogus", mesh)
+
+
+def test_walk_requires_single_hops():
+    mesh = Mesh2D(4, 4)
+    r = ECubeRouting(mesh)
+    with pytest.raises(ValueError, match="single hop"):
+        walk_is_conformant(r, [0, 2])

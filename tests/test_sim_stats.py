@@ -1,0 +1,114 @@
+"""Unit tests for statistics collectors, including hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Histogram, Simulator, Tally, TimeWeighted
+from repro.sim.stats import summarize
+
+
+def test_tally_basic():
+    t = Tally()
+    for v in (2, 4, 6):
+        t.add(v)
+    assert t.n == 3
+    assert t.total == 12
+    assert t.mean == pytest.approx(4.0)
+    assert t.min == 2 and t.max == 6
+    assert t.variance == pytest.approx(8.0 / 3.0)
+
+
+def test_tally_empty_is_safe():
+    t = Tally()
+    assert t.mean == 0.0
+    assert t.variance == 0.0
+    assert t.stdev == 0.0
+    assert t.min is None and t.max is None
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_tally_matches_direct_computation(values):
+    t = Tally()
+    for v in values:
+        t.add(v)
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    assert t.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+    assert t.variance == pytest.approx(var, rel=1e-6, abs=1e-3)
+    assert t.min == min(values)
+    assert t.max == max(values)
+
+
+@given(st.lists(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+                min_size=0, max_size=50),
+       st.lists(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+                min_size=0, max_size=50))
+def test_tally_merge_equals_combined(a_values, b_values):
+    a, b, c = Tally(), Tally(), Tally()
+    for v in a_values:
+        a.add(v)
+        c.add(v)
+    for v in b_values:
+        b.add(v)
+        c.add(v)
+    a.merge(b)
+    assert a.n == c.n
+    assert a.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+    assert a.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-3)
+
+
+def test_time_weighted_average():
+    sim = Simulator()
+    tw = TimeWeighted("queue", sim, initial=0)
+    sim.call_after(10, lambda: tw.update(4))
+    sim.call_after(30, lambda: tw.update(0))
+    sim.run()
+    sim.call_after(10, lambda: None)
+    sim.run()
+    # 0 for 10 cycles, 4 for 20 cycles, 0 for 10 cycles -> 80/40.
+    assert tw.time_average() == pytest.approx(2.0)
+    assert tw.level == 0
+
+
+def test_time_weighted_no_elapsed_time():
+    sim = Simulator()
+    tw = TimeWeighted("x", sim, initial=7)
+    assert tw.time_average() == 7
+
+
+def test_histogram_binning():
+    h = Histogram("lat", low=0, high=100, nbins=10)
+    for v in (5, 15, 15, 95, -1, 101):
+        h.add(v)
+    assert h.bins[0] == 1
+    assert h.bins[1] == 2
+    assert h.bins[9] == 1
+    assert h.underflow == 1
+    assert h.overflow == 1
+    assert h.n == 6
+
+
+def test_histogram_percentile():
+    h = Histogram("lat", low=0, high=100, nbins=100)
+    for v in range(100):
+        h.add(v)
+    assert h.percentile(0.5) == pytest.approx(49.5, abs=1.0)
+    assert h.percentile(0.0) == pytest.approx(0.5, abs=1.0)
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram("bad", low=10, high=5, nbins=3)
+    h = Histogram("p", low=0, high=1, nbins=1)
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s["n"] == 3
+    assert s["mean"] == pytest.approx(2.0)
+    assert s["stdev"] == pytest.approx(math.sqrt(2.0 / 3.0))

@@ -1,0 +1,120 @@
+"""Network tracer tests."""
+
+import pytest
+
+from repro.config import SystemParameters
+from repro.core import InvalidationEngine, build_plan
+from repro.network import MeshNetwork, Worm, WormKind
+from repro.network.trace import NetworkTracer
+from repro.sim import Simulator
+
+
+def make():
+    sim = Simulator()
+    net = MeshNetwork(sim, SystemParameters(), "ecube")
+    tracer = NetworkTracer(net).install()
+    return sim, net, tracer
+
+
+def drain(sim, net):
+    # Run the calendar dry: the network clock parks off-calendar when
+    # idle, so this terminates once all traffic (and any scheduled
+    # deposits that revive parked worms) has completed.
+    while sim.peek() is not None:
+        sim.run(max_events=1)
+
+
+def test_unicast_timeline():
+    sim, net, tracer = make()
+    worm = Worm(kind=WormKind.UNICAST, src=0, dests=(9,), size_flits=4)
+    net.inject(worm)
+    drain(sim, net)
+    events = tracer.timeline(worm)
+    assert [e.event for e in events] == ["inject", "deliver"]
+    assert events[0].node == 0 and events[1].node == 9
+    assert events[1].cycle > events[0].cycle
+    text = tracer.format_timeline(worm)
+    assert "unicast" in text and "deliver" in text
+
+
+def test_multicast_timeline_orders_absorbs():
+    sim, net, tracer = make()
+    mesh = net.mesh
+    dests = tuple(mesh.node_at(2, y) for y in (2, 4, 6))
+    worm = Worm(kind=WormKind.MULTICAST, src=mesh.node_at(2, 0),
+                dests=dests, size_flits=6)
+    net.inject(worm)
+    drain(sim, net)
+    events = tracer.timeline(worm)
+    kinds = [(e.event, e.node) for e in events]
+    assert kinds == [("inject", mesh.node_at(2, 0)),
+                     ("deliver", dests[0]), ("deliver", dests[1]),
+                     ("deliver", dests[2])]
+    assert events[1].detail == "absorb"
+    assert events[-1].detail == "final"
+
+
+def test_parked_gather_resume_traced():
+    # Handlers must be set *before* installing the tracer (it wraps the
+    # hooks in place).
+    sim = Simulator()
+    net = MeshNetwork(sim, SystemParameters(), "ecube")
+    mesh = net.mesh
+    txn = "t"
+    home, s1, s2 = (mesh.node_at(2, 0), mesh.node_at(2, 3),
+                    mesh.node_at(2, 6))
+    gather = Worm(kind=WormKind.IGATHER, src=s2, dests=(s1, home),
+                  size_flits=4, vnet=1, txn=txn, acks_carried=1)
+
+    def deliver(node, worm, final):
+        if worm.kind is WormKind.IRESERVE and node == s2:
+            net.inject(gather)
+            sim.call_after(1500, lambda: net.deposit_ack(s1, (txn, 0)))
+
+    net.on_deliver = deliver
+    tracer = NetworkTracer(net).install()
+    net.inject(Worm(kind=WormKind.IRESERVE, src=home, dests=(s1, s2),
+                    size_flits=6, txn=txn))
+    drain(sim, net)
+    events = tracer.timeline(gather)
+    assert [e.event for e in events] == ["inject", "resume", "deliver"]
+    assert events[1].node == s1
+    assert gather.acks_carried == 2
+
+
+def test_chain_wait_traced():
+    sim = Simulator()
+    net = MeshNetwork(sim, SystemParameters(), "ecube")
+    mesh = net.mesh
+    dests = (mesh.node_at(1, 2), mesh.node_at(1, 5))
+    worm = Worm(kind=WormKind.CHAIN, src=mesh.node_at(1, 0), dests=dests,
+                size_flits=6, txn="c")
+    net.on_chain_deliver = lambda node, w: sim.call_after(
+        10, lambda: net.signal_chain_done(node, w.txn))
+    tracer = NetworkTracer(net).install()
+    net.inject(worm)
+    drain(sim, net)
+    events = [e.event for e in tracer.timeline(worm)]
+    assert events == ["inject", "chain-wait", "deliver"]
+
+
+def test_tracer_double_install_rejected():
+    sim, net, tracer = make()
+    with pytest.raises(RuntimeError):
+        tracer.install()
+    tracer.uninstall()
+    tracer.uninstall()  # idempotent
+
+
+def test_tracer_with_engine_transaction():
+    sim = Simulator()
+    net = MeshNetwork(sim, SystemParameters(), "ecube")
+    engine = InvalidationEngine(sim, net, SystemParameters())
+    tracer = NetworkTracer(net).install()
+    plan = build_plan("mi-ma-ec", net.mesh, 18, [2, 10, 34, 50])
+    record = engine.run(plan, limit=5_000_000)
+    assert record.latency > 0
+    # Every injected worm has a timeline starting with its injection.
+    assert len(tracer.events) == record.total_messages
+    for events in tracer.events.values():
+        assert events[0].event == "inject"
