@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Fault recovery: one invalidation transaction, four failure modes.
+
+Builds an 8x8 wormhole mesh and runs a multidestination invalidation
+transaction under:
+
+1. a clean network — the baseline;
+2. a lossy network that randomly drops whole worms — losses are NACKed
+   and retransmitted with exponential backoff until every sharer has
+   acknowledged;
+3. a permanently dead link on the multidestination path (but not on the
+   per-sharer unicast paths) — the engine proactively degrades the
+   blocked multidestination worm to unicasts (MI->UI fallback) before
+   injecting anything, so nothing is ever dropped;
+4. a permanently dead *router* under a sharer — the sharer is
+   unreachable by any route, retries exhaust, and the transaction fails
+   with a typed TransactionFailed instead of a simulator deadlock.
+
+Run:  python examples/fault_recovery.py
+"""
+
+from repro.analysis import format_table
+from repro.config import paper_parameters
+from repro.core import InvalidationEngine, SCHEMES, build_plan
+from repro.faults import FaultPlan, LinkFault, RouterFault, TransactionFailed
+from repro.network import MeshNetwork
+from repro.sim import Simulator
+
+
+def run_once(label, scheme, home, sharers, fault_plan, max_retries=8):
+    params = paper_parameters(8).evolve(txn_max_retries=max_retries)
+    sim = Simulator()
+    net = MeshNetwork(sim, params, SCHEMES[scheme][1])
+    engine = InvalidationEngine(sim, net, params)
+    if fault_plan is not None:
+        net.install_faults(fault_plan)
+
+    plan = build_plan(scheme, net.mesh, home, sharers)
+    try:
+        record = engine.run(plan, limit=50_000_000)
+        return {
+            "scenario": label,
+            "scheme": scheme,
+            "outcome": "completed",
+            "attempts": record.attempts,
+            "downgrades": record.downgrades,
+            "worms dropped": net.worms_dropped,
+            "latency (cycles)": record.latency,
+        }
+    except TransactionFailed as exc:
+        return {
+            "scenario": label,
+            "scheme": scheme,
+            "outcome": "TransactionFailed",
+            "attempts": exc.attempts,
+            "downgrades": 0,
+            "worms dropped": net.worms_dropped,
+            "latency (cycles)": "-",
+        }
+
+
+def main():
+    home = (0, 0)
+    sharers = [(0, 3), (0, 5), (2, 3), (2, 5), (4, 3), (4, 5)]
+    mesh = MeshNetwork(Simulator(), paper_parameters(8), "ecube").mesh
+    hub = mesh.node_at(*home)
+    dests = [mesh.node_at(x, y) for x, y in sharers]
+    # A dead router directly under sharer (0,3): unreachable by any
+    # deterministic route.
+    dead_router = RouterFault(mesh.node_at(0, 3))
+
+    rows = [
+        run_once("clean", "mi-ua-ec", hub, dests, None),
+        run_once("10% worm loss", "mi-ua-ec", hub, dests,
+                 FaultPlan(drop_prob=0.10, seed=7)),
+        # The dead link 12-13 cuts the multidestination worm 11->21 but
+        # neither the per-sharer westfirst unicast requests nor the ack
+        # return paths: the proactive MI->UI fallback fully restores
+        # reachability.
+        run_once("dead link on MI path", "mi-ua-tm", 0, [11, 21],
+                 FaultPlan(link_faults=(LinkFault(12, 13),))),
+        run_once("dead router at sharer", "mi-ua-ec", hub, dests,
+                 FaultPlan(router_faults=(dead_router,)), max_retries=2),
+    ]
+    print(format_table(
+        rows, title="Fault recovery on an 8x8 mesh"))
+    print(
+        "\nLoss is recovered by NACK + watchdog retransmission (extra\n"
+        "attempts, extra latency, but completion); the dead link is\n"
+        "bypassed by degrading the multidestination worm to unicasts\n"
+        "before injection (downgrades=1, zero drops, single attempt);\n"
+        "the dead router leaves a sharer unreachable, so retries exhaust\n"
+        "and the transaction fails *typed* rather than deadlocking.")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,9 @@ Commands:
 * ``app`` — run an application (barnes-hut / lu / apsp) under a scheme;
 * ``tables`` — regenerate the paper's Table 4 / Table 5;
 * ``report`` — run the full evaluation into a markdown report;
-* ``worms`` — draw the worm paths a scheme uses for a sharing pattern.
+* ``worms`` — draw the worm paths a scheme uses for a sharing pattern;
+* ``faults`` — chaos sweep: completion rate, retries, and latency
+  inflation under seeded link/router faults and worm drops.
 """
 
 from __future__ import annotations
@@ -33,6 +35,10 @@ def _csv_ints(text: str) -> list[int]:
 
 def _csv_strs(text: str) -> list[str]:
     return [v for v in text.split(",") if v]
+
+
+def _csv_floats(text: str) -> list[float]:
+    return [float(v) for v in text.split(",") if v]
 
 
 def _xy(text: str) -> tuple[int, int]:
@@ -86,6 +92,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output markdown file")
     p_report.add_argument("--scale", default="ci", choices=["ci", "paper"])
     p_report.add_argument("--seed", type=int, default=11)
+
+    p_faults = sub.add_parser(
+        "faults", help="chaos sweep: recovery under faults")
+    p_faults.add_argument("--schemes", type=_csv_strs,
+                          default=["ui-ua", "mi-ua-ec", "mi-ma-ec"],
+                          help="comma-separated scheme names")
+    p_faults.add_argument("--drop-probs", type=_csv_floats,
+                          default=[0.0, 0.01, 0.05, 0.1],
+                          help="per-worm drop probabilities (0 = the "
+                               "fault-free baseline)")
+    p_faults.add_argument("--link-faults", type=int, default=0,
+                          help="permanent dead links added at each "
+                               "non-zero drop level")
+    p_faults.add_argument("--router-faults", type=int, default=0,
+                          help="permanent dead routers likewise")
+    p_faults.add_argument("--degree", type=int, default=8,
+                          help="sharers per transaction")
+    p_faults.add_argument("--per-point", type=int, default=10,
+                          help="transactions per grid point")
+    p_faults.add_argument("--mesh", type=int, default=8)
+    p_faults.add_argument("--seed", type=int, default=0)
 
     p_worms = sub.add_parser("worms", help="draw a scheme's worm paths")
     p_worms.add_argument("--scheme", default="mi-ua-ec",
@@ -185,6 +212,38 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """``repro faults``: chaos sweep of the recovery protocol."""
+    from repro.faults.sweep import run_fault_sweep
+
+    for scheme in args.schemes:
+        if scheme not in SCHEMES:
+            print(f"unknown scheme {scheme!r}; choose from "
+                  f"{sorted(SCHEMES)}", file=sys.stderr)
+            return 2
+    params = paper_parameters(args.mesh)
+    try:
+        rows = run_fault_sweep(args.schemes, args.drop_probs,
+                               degree=args.degree, per_point=args.per_point,
+                               params=params, link_faults=args.link_faults,
+                               router_faults=args.router_faults,
+                               seed=args.seed)
+    except ValueError as exc:
+        print(f"invalid fault configuration: {exc}", file=sys.stderr)
+        return 2
+    for row in rows:
+        # %g, not the table's %.2f: 0.001 must not print as 0.00.
+        row["drop_prob"] = f"{row['drop_prob']:g}"
+    print(format_table(
+        rows, columns=["scheme", "drop_prob", "issued", "completed",
+                       "failed", "completion_rate", "retries",
+                       "downgrades", "latency", "latency_x"],
+        title=f"Fault-recovery sweep ({args.mesh}x{args.mesh}, "
+              f"degree {args.degree}, {args.link_faults} link / "
+              f"{args.router_faults} router fault(s))"))
+    return 0
+
+
 def cmd_worms(args) -> int:
     """``repro worms``: ASCII-draw a scheme's worm paths."""
     from repro.brcp.model import conformant_walk
@@ -226,6 +285,7 @@ _COMMANDS = {
     "tables": cmd_tables,
     "report": cmd_report,
     "worms": cmd_worms,
+    "faults": cmd_faults,
 }
 
 

@@ -30,6 +30,7 @@ from repro.coherence.directory import Directory, DirectoryEntry, DirectoryState
 from repro.coherence.messages import CohType, coh_payload
 from repro.core.engine import InvalidationEngine
 from repro.core.grouping import SCHEMES, build_plan
+from repro.faults import FaultPlan, TransactionFailed
 from repro.network import MeshNetwork, Worm, WormKind
 from repro.network.worm import VNET_REPLY, VNET_REQUEST
 from repro.sim import Event, Facility, Simulator, Tally
@@ -46,7 +47,8 @@ class DSMSystem:
                  scheme: str = "ui-ua",
                  cache_capacity: Optional[int] = None,
                  consistency: str = "sc",
-                 directory_pointers: Optional[int] = None) -> None:
+                 directory_pointers: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; "
                              f"choose from {sorted(SCHEMES)}")
@@ -81,6 +83,12 @@ class DSMSystem:
         self.net.on_deliver = self._dispatch
         self.net.on_chain_deliver = self.engine.handle_chain_delivery
         self.engine.invalidate_hook = self._engine_invalidate
+        # Fault injection: an empty plan is treated as "no faults" so
+        # that the recovery machinery stays fully inert (bit-identical
+        # results) unless something can actually fail.
+        if fault_plan is not None and not fault_plan.empty:
+            self.net.install_faults(fault_plan)
+            self.net.on_worm_dropped = self._on_worm_dropped
 
         n = params.num_nodes
         self.caches = [Cache(i, cache_capacity) for i in range(n)]
@@ -112,6 +120,8 @@ class DSMSystem:
         self.invalidation_count = 0
         self.dropped_writebacks = 0
         self.broadcast_invalidations = 0
+        #: Coherence messages retransmitted after a loss NACK.
+        self.coh_resends = 0
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -217,6 +227,32 @@ class DSMSystem:
                            name=f"coh.{node}")
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown payload role {role!r}")
+
+    def _on_worm_dropped(self, worm: Worm, reason: str) -> None:
+        """Loss-notification dispatcher (mirrors :meth:`_dispatch`).
+
+        Invalidation-engine worms recover inside the engine; coherence
+        messages are simply retransmitted — a dropped worm never entered
+        the network, so resending is exactly-once safe — with bounded
+        attempts and exponential backoff.
+        """
+        payload = worm.payload or {}
+        if payload.get("role") in InvalidationEngine.ROLES:
+            self.engine.handle_worm_dropped(worm, reason)
+            return
+        p = self.params
+        tries = payload.get("_resends", 0)
+        if tries >= p.txn_max_retries:
+            mtype = payload.get("type")
+            raise TransactionFailed(
+                f"{getattr(mtype, 'name', mtype)}:{payload.get('block')}",
+                "coherence", tries + 1,
+                f"message to node {worm.dests[0]} lost: {reason}")
+        payload["_resends"] = tries + 1
+        self.coh_resends += 1
+        src, dst = worm.src, worm.dests[0]
+        delay = p.fault_retry_delay * (p.txn_backoff ** tries)
+        self.sim.call_after(delay, lambda: self._send(src, dst, payload))
 
     def _engine_invalidate(self, node: int, txn: int) -> None:
         block = self._txn_block[txn]
@@ -428,6 +464,8 @@ class DSMSystem:
                 self._txn_block[st.txn] = block
                 yield st.done
                 del self._txn_block[st.txn]
+                if isinstance(st.done.value, TransactionFailed):
+                    raise st.done.value
             if not upgrade:
                 yield from self.mem[home].use(p.mem_access)
             entry.make_exclusive(requester)

@@ -103,6 +103,32 @@ class SystemParameters:
     iack_pickup: int = 1
 
     # ------------------------------------------------------------------
+    # Robustness / fault recovery (active only when a FaultState is
+    # installed — with faults disabled these parameters are inert and
+    # every result is bit-identical to the fault-free simulator)
+    # ------------------------------------------------------------------
+    #: Base per-transaction watchdog: if an invalidation transaction has
+    #: not completed this many cycles after its (re)launch, the home
+    #: aborts the attempt and retransmits.  Scaled by ``txn_backoff`` per
+    #: attempt (exponential backoff).
+    txn_timeout: int = 4096
+    #: Retransmission attempts before the transaction fails with a typed
+    #: :class:`~repro.faults.plan.TransactionFailed` (0 = never retry).
+    txn_max_retries: int = 4
+    #: Exponential backoff multiplier applied to the timeout and the
+    #: retry delay on every successive attempt.
+    txn_backoff: int = 2
+    #: Base settle delay between detecting a loss and relaunching, so
+    #: the failed attempt's in-flight worms drain first.
+    fault_retry_delay: int = 64
+    #: Whether the network generates loss notifications (NACKs) back to
+    #: a dropped worm's source; with NACKs off, recovery relies purely
+    #: on the transaction timeout.
+    fault_nack: bool = True
+    #: Cycles between a worm's loss and its NACK reaching the source.
+    fault_nack_delay: int = 16
+
+    # ------------------------------------------------------------------
     # Behavioural switches
     # ------------------------------------------------------------------
     #: Use virtual cut-through deferred delivery for blocked i-gather
@@ -125,6 +151,14 @@ class SystemParameters:
             raise ValueError("multidest_encoding must be 'bitstring' or 'list'")
         if self.vc_buffer_depth < 1:
             raise ValueError("vc_buffer_depth must be >= 1")
+        if self.txn_timeout < 1:
+            raise ValueError("txn_timeout must be >= 1")
+        if self.txn_max_retries < 0:
+            raise ValueError("txn_max_retries must be >= 0")
+        if self.txn_backoff < 1:
+            raise ValueError("txn_backoff must be >= 1")
+        if self.fault_retry_delay < 0 or self.fault_nack_delay < 0:
+            raise ValueError("fault delays must be >= 0")
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -30,9 +30,10 @@ from repro.core.plan import (ACT_ACK,
                              FINAL_TERMINAL, GatherSpec, InvalGroup,
                              InvalidationPlan, JUNCTION_DEPOSIT,
                              JUNCTION_LAUNCH, JUNCTION_UNICAST)
+from repro.faults import TransactionFailed, degrade_plan
 from repro.network import MeshNetwork, Worm, WormKind
 from repro.network.worm import VNET_REPLY, VNET_REQUEST
-from repro.sim import Event, Facility, Simulator, Timeout
+from repro.sim import Event, Facility, Simulator, Timeout, Timer
 
 
 class _TxnState:
@@ -40,7 +41,8 @@ class _TxnState:
 
     __slots__ = ("txn", "plan", "start", "end", "done", "acks", "needed",
                  "collectors", "inval_done", "worms", "home_sent",
-                 "home_recv")
+                 "home_recv", "attempt", "confirmed", "per_sharer",
+                 "recovering", "timer", "downgrades")
 
     def __init__(self, txn: int, plan: InvalidationPlan,
                  sim: Simulator) -> None:
@@ -59,6 +61,15 @@ class _TxnState:
         self.worms: list[Worm] = []
         self.home_sent = 0
         self.home_recv = 0
+        # Fault recovery (inert without an installed FaultState).
+        self.attempt = 1
+        #: Sharers individually confirmed, used once :attr:`per_sharer`
+        #: accounting replaces the aggregate ack count after a loss.
+        self.confirmed: set[int] = set()
+        self.per_sharer = False
+        self.recovering = False
+        self.timer: Optional[Timer] = None
+        self.downgrades = 0
 
 
 class InvalidationEngine:
@@ -92,10 +103,19 @@ class InvalidationEngine:
         if attach:
             net.on_deliver = self._on_deliver
             net.on_chain_deliver = self._on_chain_deliver
+            net.on_worm_dropped = self._on_worm_dropped
         self._txns: dict[int, _TxnState] = {}
         self._ids = itertools.count(1)
         #: Completed transactions, in completion order.
         self.records: list[TransactionRecord] = []
+        #: Terminal failures (retries exhausted), in failure order.
+        self.failures: list[TransactionFailed] = []
+        #: Deliveries for already-finished transactions (stragglers of
+        #: abandoned attempts; only possible under fault injection).
+        self.stale_deliveries = 0
+        #: NACKs for payload roles this engine does not own are handed
+        #: to the surrounding protocol layer here: ``hook(worm, reason)``.
+        self.dropped_hook = lambda worm, reason: None
         #: Called as ``hook(node, txn)`` when a sharer's line is
         #: invalidated — the coherence layer clears its cache here.
         self.invalidate_hook = lambda node, txn: None
@@ -134,15 +154,34 @@ class InvalidationEngine:
         return st
 
     def _start(self, st: _TxnState) -> None:
+        faults = self.net.faults
+        if faults is not None:
+            degraded, downgraded = degrade_plan(
+                st.plan, self.net.mesh, faults, self.sim.now)
+            if downgraded:
+                st.downgrades += downgraded
+                st.plan = degraded
+                st.collectors = {
+                    jp.node: {"plan": jp, "got": 0, "pieces": 0}
+                    for jp in degraded.junctions}
         if self._uses_iack(st.plan):
             self._ma_active += 1
+        if faults is not None:
+            self._arm_timer(st)
         self.sim.spawn(self._home_send(st), name=f"txn{st.txn}.home")
 
     def run(self, plan: InvalidationPlan,
             limit: Optional[int] = None) -> TransactionRecord:
-        """Execute ``plan`` and drive the simulator to its completion."""
+        """Execute ``plan`` and drive the simulator to its completion.
+
+        Raises :class:`~repro.faults.plan.TransactionFailed` if the
+        transaction exhausted its retransmission budget.
+        """
         st = self.execute(plan)
-        return self.sim.run_until_event(st.done, limit=limit)
+        result = self.sim.run_until_event(st.done, limit=limit)
+        if isinstance(result, TransactionFailed):
+            raise result
+        return result
 
     # ------------------------------------------------------------------
     # Worm construction
@@ -213,11 +252,21 @@ class InvalidationEngine:
     def _on_deliver(self, node: int, worm: Worm, final: bool) -> None:
         st = self._txns.get(worm.txn)
         if st is None:
+            if self.net.faults is not None:
+                # Straggler of an attempt whose transaction already
+                # completed (via retries) or failed.  Expected under
+                # fault injection; a protocol bug otherwise.
+                self.stale_deliveries += 1
+                return
             raise RuntimeError(f"delivery for unknown transaction "
                                f"{worm.txn!r} at node {node}")
         role = worm.payload["role"]
         if role == "inval":
-            if worm.kind is WormKind.CHAIN:
+            if worm.payload.get("retry"):
+                self.sim.spawn(
+                    self._retry_sharer(st, node, worm.payload["retry"]),
+                    name=f"txn{st.txn}.rinv.{node}")
+            elif worm.kind is WormKind.CHAIN:
                 # Intermediate chain stops arrive via on_chain_deliver;
                 # only the final consumption lands here.
                 self.sim.spawn(self._chain_final(
@@ -227,7 +276,8 @@ class InvalidationEngine:
                 self.sim.spawn(self._sharer(st, node),
                                name=f"txn{st.txn}.inv.{node}")
         elif role == "ack":
-            self.sim.spawn(self._home_ack(st, worm.payload["count"]),
+            self.sim.spawn(self._home_ack(st, worm.payload["count"],
+                                          worm.payload.get("sharer")),
                            name=f"txn{st.txn}.ack")
         elif role == "gather":
             assert final, "gather worms deliver only at their final stop"
@@ -237,18 +287,37 @@ class InvalidationEngine:
             raise AssertionError(f"unknown payload role {role!r}")
 
     def _on_chain_deliver(self, node: int, worm: Worm) -> None:
-        st = self._txns[worm.txn]
+        st = self._txns.get(worm.txn)
+        if st is None:
+            if self.net.faults is not None:
+                self.stale_deliveries += 1
+                return
+            raise RuntimeError(f"chain delivery for unknown transaction "
+                               f"{worm.txn!r} at node {node}")
         self.sim.spawn(self._chain_stop(st, node),
                        name=f"txn{st.txn}.chain.{node}")
 
     # ------------------------------------------------------------------
     # Node-side processes
     # ------------------------------------------------------------------
+    def _mark_invalidated(self, st: _TxnState, node: int) -> None:
+        """Run the invalidation hook and fire the sharer's done event.
+
+        Under fault injection the same sharer can be invalidated more
+        than once (a straggler of an abandoned attempt racing its own
+        retry); duplicates are tolerated there and remain a protocol
+        error on a perfect network.
+        """
+        self.invalidate_hook(node, st.txn)
+        ev = st.inval_done[node]
+        if self.net.faults is not None and ev.triggered:
+            return
+        ev.succeed()
+
     def _sharer(self, st: _TxnState, node: int):
         p = self.params
         yield from self.proc[node].use(p.recv_overhead + p.cache_invalidate)
-        self.invalidate_hook(node, st.txn)
-        st.inval_done[node].succeed()
+        self._mark_invalidated(st, node)
         action = st.plan.sharer_actions[node]
         kind = action[0]
         if kind == ACT_ACK:
@@ -272,22 +341,21 @@ class InvalidationEngine:
     def _chain_stop(self, st: _TxnState, node: int):
         p = self.params
         yield from self.proc[node].use(p.recv_overhead + p.cache_invalidate)
-        self.invalidate_hook(node, st.txn)
-        st.inval_done[node].succeed()
+        self._mark_invalidated(st, node)
         self.net.signal_chain_done(node, st.txn)
 
     def _chain_final(self, st: _TxnState, node: int, count: int):
         p = self.params
         yield from self.proc[node].use(p.recv_overhead + p.cache_invalidate)
-        self.invalidate_hook(node, st.txn)
-        st.inval_done[node].succeed()
+        self._mark_invalidated(st, node)
         yield from self.oc[node].use(p.send_overhead)
         self._inject(st, self._ack_worm(st, node, count))
 
-    def _home_ack(self, st: _TxnState, count: int):
+    def _home_ack(self, st: _TxnState, count: int,
+                  sharer: Optional[int] = None):
         yield from self.proc[st.plan.home].use(self.params.recv_overhead)
         st.home_recv += 1
-        self._credit(st, count)
+        self._credit(st, count, sharer)
 
     def _gather_final(self, st: _TxnState, node: int, worm: Worm):
         p = self.params
@@ -338,9 +406,131 @@ class InvalidationEngine:
             raise AssertionError(jp.action)
 
     # ------------------------------------------------------------------
+    # Fault recovery (active only when the network has faults installed)
+    # ------------------------------------------------------------------
+    def _arm_timer(self, st: _TxnState) -> None:
+        """Per-attempt watchdog: the backstop when a loss produces no
+        NACK (``fault_nack=False``) or the NACK itself is stale."""
+        p = self.params
+        timeout = p.txn_timeout * (p.txn_backoff ** (st.attempt - 1))
+        st.timer = self.sim.timer(timeout, lambda: self._on_timeout(st))
+
+    def _on_timeout(self, st: _TxnState) -> None:
+        if st.txn not in self._txns or st.done.triggered:
+            return
+        self._recover(st, f"timeout after {self.sim.now - st.start} cycles")
+
+    def handle_worm_dropped(self, worm: Worm, reason: str) -> None:
+        """Entry point for an outer protocol layer forwarding NACKs for
+        worms whose payload role is in :attr:`ROLES`."""
+        self._nack(worm, reason)
+
+    def _on_worm_dropped(self, worm: Worm, reason: str) -> None:
+        role = worm.payload.get("role") if worm.payload else None
+        if role not in self.ROLES:
+            self.dropped_hook(worm, reason)
+            return
+        self._nack(worm, reason)
+
+    def _nack(self, worm: Worm, reason: str) -> None:
+        st = self._txns.get(worm.txn)
+        if st is None or st.done.triggered:
+            return  # transaction already over; stale notification
+        self._recover(st, f"nack ({reason}, worm #{worm.uid})")
+
+    def _recover(self, st: _TxnState, reason: str) -> None:
+        """Abandon the current attempt and schedule a retransmission.
+
+        Multiple losses of one attempt coalesce into a single recovery:
+        the first NACK (or the timeout) wins, the rest see
+        ``recovering`` and return.
+        """
+        if st.recovering or st.done.triggered:
+            return
+        st.recovering = True
+        if st.timer is not None:
+            st.timer.cancel()
+        p = self.params
+        if st.attempt > p.txn_max_retries:
+            self._fail(st, reason)
+            return
+        if not st.per_sharer:
+            # Aggregate acks already received cannot be attributed to
+            # individual sharers, so the retry path re-invalidates every
+            # sharer (idempotent) and counts sharer-tagged acks only.
+            st.per_sharer = True
+            st.confirmed = set()
+        self.net.purge_txn(st.txn)
+        delay = p.fault_retry_delay * (p.txn_backoff ** (st.attempt - 1))
+        st.attempt += 1
+        self.sim.call_after(delay, lambda: self._relaunch(st))
+
+    def _relaunch(self, st: _TxnState) -> None:
+        if st.done.triggered or st.txn not in self._txns:
+            return
+        st.recovering = False
+        # Fresh one-shot done events for sharers the retry re-invalidates.
+        for s in st.plan.sharers:
+            if s not in st.confirmed and st.inval_done[s].triggered:
+                st.inval_done[s] = self.sim.event(
+                    f"txn{st.txn}.inv.{s}.a{st.attempt}")
+        self._arm_timer(st)
+        self.sim.spawn(self._home_resend(st),
+                       name=f"txn{st.txn}.resend{st.attempt}")
+
+    def _home_resend(self, st: _TxnState):
+        """Retransmission: plain unicast invalidations to every sharer
+        not yet individually confirmed (MI→UI fallback under loss)."""
+        p = self.params
+        oc = self.oc[st.plan.home]
+        for node in st.plan.sharers:
+            if node in st.confirmed:
+                continue
+            yield from oc.use(p.send_overhead)
+            st.home_sent += 1
+            worm = Worm(kind=WormKind.UNICAST, src=st.plan.home,
+                        dests=(node,), size_flits=p.control_message_flits,
+                        vnet=VNET_REQUEST, txn=st.txn,
+                        payload={"role": "inval", "retry": st.attempt})
+            self._inject(st, worm)
+
+    def _retry_sharer(self, st: _TxnState, node: int, attempt: int):
+        p = self.params
+        yield from self.proc[node].use(p.recv_overhead + p.cache_invalidate)
+        self._mark_invalidated(st, node)
+        yield from self.oc[node].use(p.send_overhead)
+        worm = Worm(kind=WormKind.UNICAST, src=node, dests=(st.plan.home,),
+                    size_flits=p.control_message_flits, vnet=VNET_REPLY,
+                    txn=st.txn, payload={"role": "ack", "count": 1,
+                                         "sharer": node,
+                                         "attempt": attempt})
+        self._inject(st, worm)
+
+    def _fail(self, st: _TxnState, reason: str) -> None:
+        """Terminal: deliver a typed failure through the done event."""
+        if st.timer is not None:
+            st.timer.cancel()
+        st.end = self.sim.now
+        self.net.purge_txn(st.txn)
+        exc = TransactionFailed(st.txn, st.plan.scheme, st.attempt, reason)
+        self.failures.append(exc)
+        self._teardown(st)
+        st.done.succeed(exc)
+
+    # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
-    def _credit(self, st: _TxnState, count: int) -> None:
+    def _credit(self, st: _TxnState, count: int,
+                sharer: Optional[int] = None) -> None:
+        if st.per_sharer:
+            # Aggregate acks from before the recovery switch cannot be
+            # attributed to sharers; only sharer-tagged retry acks count.
+            if sharer is None or sharer in st.confirmed:
+                return
+            st.confirmed.add(sharer)
+            if len(st.confirmed) == st.needed:
+                self._finish(st)
+            return
         st.acks += count
         if st.acks > st.needed:
             raise RuntimeError(
@@ -349,18 +539,24 @@ class InvalidationEngine:
             self._finish(st)
 
     def _finish(self, st: _TxnState) -> None:
+        if st.timer is not None:
+            st.timer.cancel()
         st.end = self.sim.now
         record = TransactionRecord(
             txn=st.txn, scheme=st.plan.scheme, home=st.plan.home,
             sharers=st.needed, start=st.start, end=st.end,
             home_sent=st.home_sent, home_recv=st.home_recv,
             total_messages=len(st.worms),
-            flit_hops=sum(w.flit_hops for w in st.worms))
+            flit_hops=sum(w.flit_hops for w in st.worms),
+            attempts=st.attempt, downgrades=st.downgrades)
         self.records.append(record)
+        self._teardown(st)
+        st.done.succeed(record)
+
+    def _teardown(self, st: _TxnState) -> None:
         del self._txns[st.txn]
         if st.plan.sharers and self._uses_iack(st.plan):
             self._ma_active -= 1
             if self._ma_queue and (self._ma_cap is None
                                    or self._ma_active < self._ma_cap):
                 self._start(self._ma_queue.popleft())
-        st.done.succeed(record)

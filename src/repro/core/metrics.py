@@ -32,6 +32,15 @@ class TransactionRecord:
     home_recv: int
     total_messages: int
     flit_hops: int
+    #: Launch attempts consumed (1 = no retransmission; fault recovery).
+    attempts: int = 1
+    #: Multidestination groups degraded to unicast around known faults.
+    downgrades: int = 0
+
+    @property
+    def retries(self) -> int:
+        """Retransmission count (attempts beyond the first)."""
+        return self.attempts - 1
 
     @property
     def latency(self) -> int:

@@ -1,0 +1,81 @@
+"""Graceful degradation: re-plan multidestination worms around known faults.
+
+The paper's schemes assume a perfect mesh.  When the system-wide fault
+map (permanent faults that have already started) shows that a planned
+BRCP path crosses a dead link or router, the home re-plans *before*
+injecting, exactly as real multicast NoCs degrade to unicast around
+failed regions:
+
+* **MI-UA plans** (every sharer simply acks by unicast) degrade per
+  worm: only the multidestination groups that cross a fault are split
+  into unicast invalidations, the rest of the plan is untouched.
+* **MA and chain plans** couple the invalidation worms to gather worms,
+  i-ack reservations, and junction collectors; surgically rerouting one
+  worm would break the acknowledgment choreography, so any fault on any
+  planned worm path (invalidation groups, column gathers, or row
+  gathers) downgrades the whole transaction to UI-UA.
+
+The degraded plan keeps the original scheme name so that per-scheme
+metrics stay attributable; the number of multidestination groups
+replaced is reported as the transaction's downgrade count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.plan import ACT_ACK, ACT_LAUNCH, InvalGroup, InvalidationPlan
+from repro.faults.state import FaultState
+from repro.network.topology import Mesh2D
+from repro.network.worm import WormKind
+
+
+def _plan_paths(plan: InvalidationPlan):
+    """Every (src, dests) worm path the plan will launch."""
+    for group in plan.groups:
+        yield plan.home, group.dests
+    for action in plan.sharer_actions.values():
+        if action[0] == ACT_LAUNCH:
+            spec = action[1]
+            yield spec.launcher, spec.dests
+    for jp in plan.junctions:
+        if jp.row_gather is not None:
+            yield jp.row_gather.launcher, jp.row_gather.dests
+
+
+def degrade_plan(plan: InvalidationPlan, mesh: Mesh2D, faults: FaultState,
+                 now: int) -> tuple[InvalidationPlan, int]:
+    """Return ``(plan', downgraded_groups)`` re-planned around known faults.
+
+    ``downgraded_groups`` is 0 when the plan is untouched.
+    """
+    multi = sum(1 for g in plan.groups if len(g.dests) > 1)
+    if multi == 0 and not plan.junctions:
+        return plan, 0
+
+    def blocked(src, dests) -> bool:
+        return faults.path_known_blocked(src, dests, now)
+
+    ack_only = all(a[0] == ACT_ACK for a in plan.sharer_actions.values())
+    if ack_only:
+        groups: list[InvalGroup] = []
+        changed = 0
+        for g in plan.groups:
+            if len(g.dests) > 1 and blocked(plan.home, g.dests):
+                groups.extend(InvalGroup(WormKind.UNICAST, (d,))
+                              for d in g.dests)
+                changed += 1
+            else:
+                groups.append(g)
+        if not changed:
+            return plan, 0
+        return replace(plan, groups=tuple(groups)), changed
+
+    # MA / chain plan: all-or-nothing fallback.
+    if not any(blocked(src, dests) for src, dests in _plan_paths(plan)):
+        return plan, 0
+    from repro.core.grouping import plan_ui_ua
+    fallback = plan_ui_ua(mesh, plan.home, plan.sharers)
+    fallback = replace(fallback, scheme=plan.scheme)
+    downgraded = max(1, multi)
+    return fallback, downgraded

@@ -1,0 +1,166 @@
+"""Runtime fault evaluation against a :class:`~repro.faults.plan.FaultPlan`.
+
+The network consults one :class:`FaultState` per run.  Faults act at
+*message granularity*: when a worm is offered for injection, its full
+base-routing walk is computed and checked against the links and routers
+that are down at that cycle, and the plan's drop stream is consulted.  A
+worm that would die mid-flight is removed at injection time — its flits
+are charged to the traffic statistics up to the failure point, but the
+cycle-level router pipeline never sees it.  Recovery (NACK, timeout,
+retransmission, unicast fallback) is entirely the protocol layers' job;
+see ``docs/FAULTS.md`` for the model's scope and limits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.brcp.model import conformant_walk
+from repro.faults.plan import FaultPlan
+from repro.network.routing import Routing
+from repro.network.topology import Mesh2D
+
+#: Drop reasons reported through ``MeshNetwork.on_worm_dropped``.
+REASON_LINK = "link-fault"
+REASON_ROUTER = "router-fault"
+REASON_DROP = "random-drop"
+
+
+class FaultState:
+    """Evaluates one plan against one mesh + base routing."""
+
+    def __init__(self, plan: FaultPlan, mesh: Mesh2D,
+                 routing: Routing) -> None:
+        self.plan = plan
+        self.mesh = mesh
+        self.routing = routing
+        self._rng = random.Random(plan.seed)
+        #: (min(a,b), max(a,b)) -> fault windows, merged over link and
+        #: router faults (a dead router takes every adjacent link down).
+        self._links: dict[tuple[int, int], list[tuple[int, Optional[int]]]] = {}
+        self._routers: dict[int, list[tuple[int, Optional[int]]]] = {}
+        for lf in plan.link_faults:
+            key = (min(lf.a, lf.b), max(lf.a, lf.b))
+            self._links.setdefault(key, []).append((lf.start, lf.end))
+        for rf in plan.router_faults:
+            self._routers.setdefault(rf.node, []).append((rf.start, rf.end))
+            from repro.network.topology import MESH_PORTS
+            for port in MESH_PORTS:
+                nb = mesh.neighbor(rf.node, port)
+                if nb is None:
+                    continue
+                key = (min(rf.node, nb), max(rf.node, nb))
+                self._links.setdefault(key, []).append((rf.start, rf.end))
+        #: Worms offered to the network so far (drives drop_nth and the
+        #: deterministic consumption order of the drop stream).
+        self.injections_seen = 0
+        # Statistics, by reason.
+        self.drops = {REASON_LINK: 0, REASON_ROUTER: 0, REASON_DROP: 0}
+
+    # ------------------------------------------------------------------
+    # Topology state queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _active(windows, now: int, permanent_only: bool = False) -> bool:
+        for start, end in windows:
+            if permanent_only and end is not None:
+                continue
+            if start <= now and (end is None or now < end):
+                return True
+        return False
+
+    def link_down(self, a: int, b: int, now: int) -> bool:
+        """True when the (bidirectional) link a<->b is down at ``now``."""
+        windows = self._links.get((min(a, b), max(a, b)))
+        return windows is not None and self._active(windows, now)
+
+    def router_down(self, node: int, now: int) -> bool:
+        """True when ``node``'s router is down at ``now``."""
+        windows = self._routers.get(node)
+        return windows is not None and self._active(windows, now)
+
+    def walk_of(self, src: int, dests) -> Optional[list[int]]:
+        """The hop-by-hop walk a worm would take (preferred channels)."""
+        return conformant_walk(self.routing, src, list(dests))
+
+    def blocking_hop(self, walk, now: int) -> Optional[int]:
+        """Index of the first dead hop on ``walk`` at ``now``, or None.
+
+        Hop ``i`` is the link ``walk[i] -> walk[i+1]``; a dead router at
+        ``walk[i+1]`` also blocks hop ``i``.
+        """
+        if not self._links and not self._routers:
+            return None
+        for i, (a, b) in enumerate(zip(walk, walk[1:])):
+            if self.link_down(a, b, now) or self.router_down(b, now):
+                return i
+        return None
+
+    def path_known_blocked(self, src: int, dests, now: int) -> bool:
+        """True when the path crosses a *known* fault at ``now``.
+
+        Known faults are the permanent ones that have already started —
+        the system-wide fault map used for proactive MI→UI re-planning.
+        Transient faults are invisible here; they are only discovered by
+        losing worms.
+        """
+        if not self._links and not self._routers:
+            return False
+        walk = self.walk_of(src, dests)
+        if walk is None:
+            return False
+        for a, b in zip(walk, walk[1:]):
+            windows = self._links.get((min(a, b), max(a, b)))
+            if windows and self._active(windows, now, permanent_only=True):
+                return True
+            rwindows = self._routers.get(b)
+            if rwindows and self._active(rwindows, now,
+                                         permanent_only=True):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Injection filter
+    # ------------------------------------------------------------------
+    def filter_injection(self, worm, now: int):
+        """Decide one worm's fate at injection.
+
+        Returns ``None`` to let the worm through, or ``(reason, hops)``
+        when it dies — ``hops`` is how far its header would have
+        travelled before the failure (for traffic accounting).
+        """
+        plan = self.plan
+        ordinal = self.injections_seen
+        self.injections_seen += 1
+        walk = None
+        # Targeted and probabilistic drops (the drop stream is consumed
+        # for every injection in the window so that decisions depend only
+        # on the injection order, not on earlier faults).
+        dropped = ordinal in plan.drop_nth
+        if plan.drop_prob > 0.0 and plan.drop_start <= now and (
+                plan.drop_end is None or now < plan.drop_end):
+            if self._rng.random() < plan.drop_prob:
+                dropped = True
+        if dropped:
+            walk = self.walk_of(worm.src, worm.dests)
+            hops = len(walk) - 1 if walk else 1
+            # Lost partway: charge a deterministic midpoint.
+            hops = max(1, hops // 2) if hops > 1 else hops
+            self.drops[REASON_DROP] += 1
+            return REASON_DROP, hops
+        if not self._links and not self._routers:
+            return None
+        if self.router_down(worm.src, now):
+            self.drops[REASON_ROUTER] += 1
+            return REASON_ROUTER, 0
+        walk = self.walk_of(worm.src, worm.dests)
+        if walk is None:
+            return None
+        hop = self.blocking_hop(walk, now)
+        if hop is None:
+            return None
+        reason = (REASON_ROUTER if self.router_down(walk[hop + 1], now)
+                  else REASON_LINK)
+        self.drops[reason] += 1
+        return reason, hop

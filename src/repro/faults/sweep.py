@@ -1,0 +1,110 @@
+"""Chaos sweep: invalidation schemes under increasing fault pressure.
+
+For each (scheme, fault level) the sweep runs the paper's invalidation
+microbenchmark — one transaction at a time on an otherwise idle mesh —
+under a seeded :class:`~repro.faults.plan.FaultPlan`, and reports how
+the recovery protocol holds up:
+
+* **completion rate** — transactions that finished (possibly via
+  retransmission or unicast fallback) over transactions issued; the
+  remainder ended in a typed
+  :class:`~repro.faults.plan.TransactionFailed`, never a silent hang or
+  a generic deadlock;
+* **retries** — mean retransmission attempts per completed transaction;
+* **latency inflation** — mean completed-transaction latency relative
+  to the same scheme and pattern stream on a fault-free mesh.
+
+Backs ``repro faults`` and ``benchmarks/bench_fault_recovery.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import SystemParameters, paper_parameters
+from repro.core.engine import InvalidationEngine
+from repro.core.grouping import SCHEMES, build_plan
+from repro.faults.plan import FaultPlan, TransactionFailed
+from repro.network import MeshNetwork
+from repro.sim import Simulator, Tally
+from repro.workloads.patterns import make_pattern
+
+
+def run_fault_sweep(schemes: Sequence[str], drop_probs: Sequence[float],
+                    degree: int = 8, per_point: int = 10,
+                    params: Optional[SystemParameters] = None,
+                    link_faults: int = 0, router_faults: int = 0,
+                    kind: str = "uniform", seed: int = 0) -> list[dict]:
+    """Row dicts for every (scheme, drop probability) grid point.
+
+    ``link_faults``/``router_faults`` add that many permanent random
+    dead links/routers on top of each non-zero drop probability.  The
+    pattern stream is shared across schemes and fault levels, so the
+    comparison is paired; everything is a pure function of ``seed``.
+    """
+    params = params or paper_parameters()
+    for scheme in schemes:
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; "
+                             f"choose from {sorted(SCHEMES)}")
+    rng = np.random.default_rng(seed)
+    from repro.network.topology import Mesh2D
+    mesh = Mesh2D(params.mesh_width, params.mesh_height)
+    patterns = [make_pattern(kind, mesh, degree, rng)
+                for _ in range(per_point)]
+
+    rows: list[dict] = []
+    baseline: dict[str, float] = {}
+    for scheme in schemes:
+        for prob in drop_probs:
+            plan = None
+            if prob > 0:
+                plan = FaultPlan.random(
+                    mesh, seed=seed, link_faults=link_faults,
+                    router_faults=router_faults, drop_prob=prob)
+            row = _run_point(scheme, prob, plan, patterns, params)
+            if prob == 0:
+                baseline[scheme] = row["latency"]
+            base = baseline.get(scheme)
+            row["latency_x"] = (row["latency"] / base
+                                if base and row["latency"] else float("nan"))
+            rows.append(row)
+    return rows
+
+
+def _run_point(scheme: str, prob: float, fault_plan: Optional[FaultPlan],
+               patterns, params: SystemParameters) -> dict:
+    routing = SCHEMES[scheme][1]
+    sim = Simulator()
+    net = MeshNetwork(sim, params, routing)
+    engine = InvalidationEngine(sim, net, params)
+    if fault_plan is not None and not fault_plan.empty:
+        net.install_faults(fault_plan)
+    completed = failed = 0
+    latency, retries, downgrades = Tally("lat"), Tally("rty"), Tally("dg")
+    for pattern in patterns:
+        plan = build_plan(scheme, net.mesh, pattern.home, pattern.sharers)
+        try:
+            record = engine.run(plan, limit=50_000_000)
+        except TransactionFailed:
+            failed += 1
+            continue
+        completed += 1
+        latency.add(record.latency)
+        retries.add(record.retries)
+        downgrades.add(record.downgrades)
+    issued = completed + failed
+    return {
+        "scheme": scheme,
+        "drop_prob": prob,
+        "issued": issued,
+        "completed": completed,
+        "failed": failed,
+        "completion_rate": completed / issued if issued else float("nan"),
+        "latency": latency.mean if completed else float("nan"),
+        "retries": retries.mean if completed else float("nan"),
+        "downgrades": downgrades.mean if completed else float("nan"),
+        "worms_dropped": net.worms_dropped,
+    }

@@ -65,6 +65,35 @@ class IAckBufferFile:
         self.parks = 0
         self.pickups = 0
         self.deposits = 0
+        #: Transactions whose entries were purged after a failed attempt
+        #: (fault recovery).  Keys of a dead transaction get *blackhole*
+        #: semantics: reserves succeed without storing, deposits are
+        #: swallowed, pickups read as an empty signal, and parks drain
+        #: into nothing — so straggler worms of an abandoned attempt can
+        #: never re-occupy (and leak) buffer entries.  May be a set
+        #: shared across every interface of a network.
+        self.dead_txns: set[Hashable] = set()
+        self._blackholed: set[Hashable] = set()
+
+    def _dead(self, key: Hashable) -> bool:
+        return (bool(self.dead_txns) and isinstance(key, tuple)
+                and bool(key) and key[0] in self.dead_txns)
+
+    def purge_txn(self, txn: Hashable) -> int:
+        """Drop every entry keyed by ``txn`` and mark it dead forever.
+
+        Returns the number of entries freed.  Called by the recovery
+        layer before retransmitting, so the retry starts from clean
+        buffers and late worms of the dead attempt are blackholed.
+        """
+        self.dead_txns.add(txn)
+        stale = [k for k in self._entries
+                 if isinstance(k, tuple) and k and k[0] == txn]
+        for k in stale:
+            del self._entries[k]
+        self._blackholed -= {k for k in self._blackholed
+                             if isinstance(k, tuple) and k and k[0] == txn}
+        return len(stale)
 
     # ------------------------------------------------------------------
     @property
@@ -85,6 +114,8 @@ class IAckBufferFile:
         and retry.  Reserving an entry that a gather worm already created
         by parking simply marks it reserved.
         """
+        if self._dead(key):
+            return True
         entry = self._entries.get(key)
         if entry is not None:
             entry.reserved = True
@@ -103,6 +134,8 @@ class IAckBufferFile:
         re-inject, if one was waiting for this signal — the caller picks
         the signal up on the worm's behalf (entry is freed).
         """
+        if self._dead(key):
+            return None
         entry = self._entries.get(key)
         if entry is None or not entry.reserved:
             raise IAckProtocolError(
@@ -126,6 +159,8 @@ class IAckBufferFile:
         Returns the signal count, or None when the signal is not ready yet
         (entry missing or reserved-but-not-deposited).
         """
+        if self._dead(key):
+            return 0  # keep a straggler gather moving, never parked
         entry = self._entries.get(key)
         if entry is None or not entry.ready:
             return None
@@ -143,6 +178,9 @@ class IAckBufferFile:
         worm).  Returns False when the file is full and no entry exists —
         the gather must stall in place and retry.
         """
+        if self._dead(key):
+            self._blackholed.add(key)
+            return True
         entry = self._entries.get(key)
         if entry is None:
             if len(self._entries) >= self.capacity:
@@ -163,6 +201,9 @@ class IAckBufferFile:
         returns the worm for re-injection (entry freed).  Otherwise the
         worm stays parked and None is returned.
         """
+        if self._dead(key):
+            self._blackholed.discard(key)
+            return None  # the swallowed worm stays gone
         entry = self._entries.get(key)
         if entry is None or entry.parked is None:
             raise IAckProtocolError(f"no parked worm on {key!r}")

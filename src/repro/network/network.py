@@ -69,6 +69,15 @@ class MeshNetwork:
         self.on_deliver: DeliveryHandler = self._default_deliver
         self.on_chain_deliver: ChainHandler = lambda node, worm: None
 
+        # Fault injection (None = perfect network, zero overhead).
+        self.faults = None
+        #: Loss notification (NACK) handler: ``handler(worm, reason)``;
+        #: called ``fault_nack_delay`` cycles after a worm is dropped.
+        self.on_worm_dropped: Callable[[Worm, str], None] = \
+            lambda worm, reason: None
+        self.worms_dropped = 0
+        self.drop_log: list[tuple[int, int, str]] = []
+
         # Statistics.
         self.total_flit_hops = 0
         self.injected = 0
@@ -95,13 +104,31 @@ class MeshNetwork:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def install_faults(self, plan) -> "FaultState":
+        """Attach a :class:`~repro.faults.plan.FaultPlan` to this network;
+        returns the live :class:`~repro.faults.state.FaultState`."""
+        from repro.faults.state import FaultState
+        self.faults = FaultState(plan, self.mesh, self.routing)
+        return self.faults
+
     def inject(self, worm: Worm) -> None:
-        """Hand a worm to its source router for injection."""
+        """Hand a worm to its source router for injection.
+
+        Under an installed fault plan the worm may instead be lost: its
+        traffic up to the failure point is charged, the loss is logged,
+        and (when NACKs are enabled) ``on_worm_dropped`` fires after the
+        notification delay.  A lost worm never reaches a router.
+        """
         if not 0 <= worm.src < self.mesh.num_nodes:
             raise ValueError(f"source {worm.src} outside the mesh")
         for dest in worm.dests:
             if not 0 <= dest < self.mesh.num_nodes:
                 raise ValueError(f"destination {dest} outside the mesh")
+        if self.faults is not None:
+            fate = self.faults.filter_injection(worm, self.sim.now)
+            if fate is not None:
+                self._drop(worm, *fate)
+                return
         worm.injected_at = self.sim.now
         self.routers[worm.src].inject_queue[worm.vnet].append(worm)
         self.injected += 1
@@ -123,6 +150,22 @@ class MeshNetwork:
         self.routers[node].interface.chain_done.add((txn, node))
         self.busy.add(node)
         self._wake()
+
+    def purge_txn(self, txn: Hashable) -> int:
+        """Fault recovery: scrub every per-interface trace of ``txn``.
+
+        Frees the transaction's i-ack buffer entries (marking it dead so
+        straggler worms of the abandoned attempt are blackholed, see
+        :meth:`IAckBufferFile.purge_txn`) and drops its chain-done flags.
+        Returns the number of i-ack entries freed.
+        """
+        freed = 0
+        for router in self.routers:
+            iface = router.interface
+            freed += iface.iack.purge_txn(txn)
+            iface.chain_done -= {k for k in iface.chain_done
+                                 if k[0] == txn}
+        return freed
 
     def neighbor_router(self, node: int, port: Port) -> Router:
         """Adjacent router through ``port`` (must exist)."""
@@ -158,6 +201,20 @@ class MeshNetwork:
             self.latency[worm.kind].add(self.sim.now - worm.injected_at)
         handler = self.on_deliver
         self.sim.call_at(self.sim.now, lambda: handler(node, worm, final))
+
+    def _drop(self, worm: Worm, reason: str, hops: int) -> None:
+        """Lose ``worm`` at injection: charge its flits' travel up to the
+        failure point, log, and schedule the NACK."""
+        worm.injected_at = self.sim.now
+        lost_hops = hops * worm.size_flits
+        worm.flit_hops += lost_hops
+        self.total_flit_hops += lost_hops
+        self.worms_dropped += 1
+        self.drop_log.append((self.sim.now, worm.uid, reason))
+        if self.params.fault_nack:
+            handler = self.on_worm_dropped
+            self.sim.call_after(self.params.fault_nack_delay,
+                                lambda: handler(worm, reason))
 
     def _reinject(self, node: int, worm: Worm) -> None:
         """Resume a parked worm from this router's local port (it bypasses
@@ -215,18 +272,127 @@ class MeshNetwork:
                     return True
         return False
 
-    def _report_deadlock(self) -> None:
+    def _diagnose_wait(self, router, vc):
+        """What a stalled VC is waiting for: ``(description, holders)``
+        where ``holders`` are the input VCs holding that resource (empty
+        when the resource is not attributable to a VC, e.g. an i-ack
+        signal that was never deposited).  Returns None for VCs that are
+        not actually blocked (e.g. forwarding with credit available)."""
         from repro.network.router import VCState
+        from repro.network.worm import WormKind
+        worm = vc.worm
+        node = router.node
+        iface = router.interface
+        if vc.state is VCState.FORWARD:
+            if not vc.buffer or vc.out_port is None:
+                return None
+            neighbor, dst_vc = router.links[(vc.out_port, vc.vnet)]
+            if len(dst_vc.buffer) < neighbor.vc_depth:
+                return None
+            return (f"buffer credit on the {vc.out_port.name} link into "
+                    f"node {neighbor.node}",
+                    [dst_vc] if dst_vc.worm is not None else [])
+        if vc.state is not VCState.DECIDE:
+            return None
+        if worm.next_dest == node:
+            kind = worm.kind
+            final = worm.at_last_leg
+            entries = iface.iack._entries
+            if (kind is WormKind.IGATHER and not final
+                    and not vc.ctx.get("picked")):
+                key = self.gather_key(worm, node)
+                if iface.iack.entry(key) is None and not iface.iack.free_slots:
+                    return (f"a free i-ack buffer slot at node {node} "
+                            f"(all {iface.iack.capacity} held: "
+                            f"{sorted(map(repr, entries))})", [])
+                return (f"the i-ack signal {key!r} at node {node} "
+                        f"(reserved but not yet deposited)", [])
+            if kind is WormKind.IRESERVE and not vc.ctx.get("reserved"):
+                return (f"a free i-ack buffer slot at node {node} "
+                        f"(all {iface.iack.capacity} held: "
+                        f"{sorted(map(repr, entries))})", [])
+            if kind is WormKind.CHAIN and not final:
+                if not vc.ctx.get("cc") and not iface.free_cc:
+                    return self._cc_wait(router, vc)
+                if vc.ctx.get("delivered"):
+                    return (f"the local invalidation of txn "
+                            f"{worm.txn!r} at node {node}", [])
+            needs_cc = final or worm.delivers_at(node)
+            if needs_cc and not vc.ctx.get("cc") and not iface.free_cc:
+                return self._cc_wait(router, vc)
+            if final:
+                return None  # draining starts next cycle
+            target = worm.dests[worm.ptr + 1]
+        else:
+            target = worm.next_dest
+        ports = self.routing.candidates(node, target)
+        holders = [router.out_owner[(p, vc.vnet)] for p in ports]
+        names = "/".join(p.name for p in ports)
+        return (f"an output channel {names} (vnet {vc.vnet}) at node "
+                f"{node} toward node {target}",
+                [h for h in holders if h is not None])
+
+    @staticmethod
+    def _cc_wait(router, vc):
+        holders = [v for v in router._vc_list
+                   if v is not vc and v.worm is not None
+                   and (v.ctx.get("cc") or v.state.value in
+                        ("consume", "forward"))]
+        return (f"a consumption channel at node {router.node} "
+                f"(all {router.interface.total_cc} busy)", holders)
+
+    @staticmethod
+    def _find_wait_cycle(waits):
+        """A list of VCs forming a hold-and-wait cycle, or None.  Edges
+        go from a waiting VC to a holder of its wanted resource that is
+        itself waiting."""
+        for start in waits:
+            path, index = [], {}
+            vc = start
+            while vc in waits:
+                if vc in index:
+                    return path[index[vc]:]
+                index[vc] = len(path)
+                path.append(vc)
+                vc = next((h for h in waits[vc][1] if h in waits), None)
+                if vc is None:
+                    break
+        return None
+
+    def _report_deadlock(self) -> None:
         from repro.sim.engine import SimulationError
-        blocked = []
+        owner_router = {}
+        waits = {}
         for nid in sorted(self.busy):
-            for vc in self.routers[nid]._vc_list:
-                if vc.worm is not None and vc.state is VCState.DECIDE:
-                    blocked.append(f"node {nid}: {vc.worm!r}")
+            router = self.routers[nid]
+            for vc in router._vc_list:
+                if vc.worm is None:
+                    continue
+                diag = self._diagnose_wait(router, vc)
+                if diag is not None:
+                    owner_router[vc] = router
+                    waits[vc] = diag
+
+        def step(vc):
+            desc, _holders = waits[vc]
+            return (f"worm #{vc.worm.uid} ({vc.worm.kind.value}, "
+                    f"txn={vc.worm.txn!r}) at node "
+                    f"{owner_router[vc].node} waits for {desc}")
+
+        cycle = self._find_wait_cycle(waits)
+        if cycle:
+            detail = (f"hold-and-wait cycle of {len(cycle)} worm(s):\n  "
+                      + "\n  ".join(step(vc) for vc in cycle)
+                      + "\n  … and back to the first")
+        else:
+            shown = [step(vc) for vc in list(waits)[:8]]
+            detail = ("blocked worms (no closed cycle among the waiters "
+                      "— a resource is held by a non-waiting party):\n  "
+                      + "\n  ".join(shown))
         raise SimulationError(
             f"network deadlock: no flit moved for "
             f"{self.deadlock_threshold} cycles at cycle {self.sim.now}; "
-            f"blocked worms: {blocked[:8]} "
+            f"{detail}\n"
             f"(hold-and-wait on consumption channels / i-ack buffers — "
             f"increase iack_buffers or consumption_channels)")
 

@@ -16,7 +16,7 @@ Time is an integer count of network cycles everywhere, which keeps the
 simulation exactly deterministic.
 """
 
-from repro.sim.engine import Event, AllOf, AnyOf, Simulator, Timeout
+from repro.sim.engine import Event, AllOf, AnyOf, Simulator, Timeout, Timer
 from repro.sim.process import Process
 from repro.sim.resource import Facility, Resource
 from repro.sim.stats import Histogram, Tally, TimeWeighted
@@ -33,4 +33,5 @@ __all__ = [
     "Tally",
     "TimeWeighted",
     "Timeout",
+    "Timer",
 ]

@@ -113,6 +113,50 @@ class Timeout:
         self.delay = int(delay)
 
 
+class Timer:
+    """A cancellable one-shot timer (protocol timeouts, watchdogs).
+
+    The calendar entry itself cannot be removed from the heap, so
+    cancellation is a flag the firing callback checks: a cancelled timer
+    costs one no-op dispatch, nothing else.  Unlike :class:`Event`,
+    cancelling after arming is the *normal* path — a transaction's
+    watchdog is cancelled every time the transaction completes.
+    """
+
+    __slots__ = ("when", "cancelled", "fired", "_fn")
+
+    def __init__(self, sim: "Simulator", delay: int,
+                 fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timer delay {delay}")
+        self.when = sim.now + int(delay)
+        self.cancelled = False
+        self.fired = False
+        self._fn = fn
+        sim.call_at(self.when, self._fire)
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed and may still fire."""
+        return not self.cancelled and not self.fired
+
+    def cancel(self) -> None:
+        """Disarm; idempotent, and a no-op after firing."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired = True
+        fn, self._fn = self._fn, None
+        fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("cancelled" if self.cancelled
+                 else "fired" if self.fired else "armed")
+        return f"<Timer @{self.when} {state}>"
+
+
 class Simulator:
     """The event calendar and simulated clock (integer network cycles)."""
 
@@ -146,6 +190,10 @@ class Simulator:
                       name: str = "timeout") -> Event:
         """An event that fires ``delay`` cycles from now."""
         return self.event(name).schedule(delay, value)
+
+    def timer(self, delay: int, fn: Callable[[], None]) -> Timer:
+        """Arm a cancellable :class:`Timer` running ``fn`` after ``delay``."""
+        return Timer(self, delay, fn)
 
     def spawn(self, generator, name: str = "process"):
         """Start a new :class:`~repro.sim.process.Process` from a generator."""

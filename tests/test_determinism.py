@@ -60,3 +60,57 @@ def test_different_seeds_differ():
     b = run_invalidation_sweep(["ui-ua"], [8], per_degree=3,
                                params=params, seed=2)
     assert a != b
+
+
+# ----------------------------------------------------------------------
+# Fault injection must not compromise reproducibility
+# ----------------------------------------------------------------------
+def run_faulted_trace(fault_plan):
+    from repro.core.metrics import TransactionRecord
+
+    params = SystemParameters()
+    sim = Simulator()
+    net = MeshNetwork(sim, params, "ecube")
+    engine = InvalidationEngine(sim, net, params)
+    if fault_plan is not None:
+        net.install_faults(fault_plan)
+    records = []
+    for home, sharers in ((10, [2, 18, 34, 50]), (33, [1, 9, 41]),
+                          (0, [63, 7, 56])):
+        plan = build_plan("mi-ma-ec", net.mesh, home, sharers)
+        r = engine.run(plan, limit=50_000_000)
+        assert isinstance(r, TransactionRecord)
+        records.append((r.latency, r.total_messages, r.flit_hops,
+                        r.home_occupancy, r.end, r.attempts, r.downgrades))
+    return records, net.total_flit_hops, net.worms_dropped
+
+
+def test_fixed_seed_faults_bit_exact_across_runs():
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(drop_prob=0.05, seed=17)
+    a = run_faulted_trace(plan)
+    b = run_faulted_trace(plan)
+    assert a == b
+    assert a[2] > 0, "the chosen seed should actually drop worms"
+
+
+def test_empty_fault_plan_is_bit_identical_to_no_faults():
+    """Installing an *empty* plan activates the whole robustness code
+    path (injection filter, watchdog timers, degradation check) yet must
+    not move a single cycle of any result."""
+    from repro.faults import FaultPlan
+
+    clean = run_faulted_trace(None)
+    armed = run_faulted_trace(FaultPlan())
+    assert clean == armed
+
+
+def test_faults_disabled_results_unchanged_from_seed():
+    """With no fault plan the records are exactly the fault-free
+    simulator's (attempts all 1, no downgrades, nothing dropped)."""
+    records, _hops, dropped = run_faulted_trace(None)
+    assert dropped == 0
+    assert all(r[5] == 1 and r[6] == 0 for r in records)
+    base, _, _ = run_transaction_trace()
+    assert [r[:5] for r in records] == base
