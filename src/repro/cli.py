@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="transactions per grid point")
     p_faults.add_argument("--mesh", type=int, default=8)
     p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--fault-aware", action="store_true",
+                          help="route with the fault-aware '+ft' wrapper "
+                               "(reroute around known faults before "
+                               "downgrading MI to UI)")
+    p_faults.add_argument("--detour-limit", type=int, default=8,
+                          help="misroute budget per worm under "
+                               "--fault-aware (0 = prune-only)")
 
     p_worms = sub.add_parser("worms", help="draw a scheme's worm paths")
     p_worms.add_argument("--scheme", default="mi-ua-ec",
@@ -221,26 +228,30 @@ def cmd_faults(args) -> int:
             print(f"unknown scheme {scheme!r}; choose from "
                   f"{sorted(SCHEMES)}", file=sys.stderr)
             return 2
-    params = paper_parameters(args.mesh)
+    params = paper_parameters(args.mesh,
+                              fault_aware_routing=args.fault_aware,
+                              detour_limit=args.detour_limit)
     try:
         rows = run_fault_sweep(args.schemes, args.drop_probs,
                                degree=args.degree, per_point=args.per_point,
                                params=params, link_faults=args.link_faults,
                                router_faults=args.router_faults,
-                               seed=args.seed)
+                               seed=args.seed,
+                               fault_aware=args.fault_aware)
     except ValueError as exc:
         print(f"invalid fault configuration: {exc}", file=sys.stderr)
         return 2
     for row in rows:
         # %g, not the table's %.2f: 0.001 must not print as 0.00.
         row["drop_prob"] = f"{row['drop_prob']:g}"
+    routing_note = ", fault-aware routing" if args.fault_aware else ""
     print(format_table(
         rows, columns=["scheme", "drop_prob", "issued", "completed",
                        "failed", "completion_rate", "retries",
-                       "downgrades", "latency", "latency_x"],
+                       "downgrades", "reroutes", "latency", "latency_x"],
         title=f"Fault-recovery sweep ({args.mesh}x{args.mesh}, "
               f"degree {args.degree}, {args.link_faults} link / "
-              f"{args.router_faults} router fault(s))"))
+              f"{args.router_faults} router fault(s){routing_note})"))
     return 0
 
 

@@ -127,6 +127,16 @@ class SystemParameters:
     fault_nack: bool = True
     #: Cycles between a worm's loss and its NACK reaching the source.
     fault_nack_delay: int = 16
+    #: Route with the fault-aware wrapper (``"<base>+ft"``): per-hop
+    #: candidate sets are pruned of dead links/routers and bounded
+    #: non-minimal detours restore reachability around the fault map.
+    #: With no (or an empty) fault plan the wrapper is a pure delegate
+    #: and results are bit-identical to the base routing.
+    fault_aware_routing: bool = False
+    #: Misroute budget per worm under fault-aware routing: non-minimal
+    #: detour hops allowed before the worm must fall back to minimal
+    #: candidates (0 = prune-only, never detour).
+    detour_limit: int = 8
 
     # ------------------------------------------------------------------
     # Behavioural switches
@@ -159,6 +169,8 @@ class SystemParameters:
             raise ValueError("txn_backoff must be >= 1")
         if self.fault_retry_delay < 0 or self.fault_nack_delay < 0:
             raise ValueError("fault delays must be >= 0")
+        if self.detour_limit < 0:
+            raise ValueError("detour_limit must be >= 0")
 
     # ------------------------------------------------------------------
     # Derived quantities

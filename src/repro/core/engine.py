@@ -42,7 +42,7 @@ class _TxnState:
     __slots__ = ("txn", "plan", "start", "end", "done", "acks", "needed",
                  "collectors", "inval_done", "worms", "home_sent",
                  "home_recv", "attempt", "confirmed", "per_sharer",
-                 "recovering", "timer", "downgrades")
+                 "recovering", "timer", "downgrades", "reroutes")
 
     def __init__(self, txn: int, plan: InvalidationPlan,
                  sim: Simulator) -> None:
@@ -70,6 +70,7 @@ class _TxnState:
         self.recovering = False
         self.timer: Optional[Timer] = None
         self.downgrades = 0
+        self.reroutes = 0
 
 
 class InvalidationEngine:
@@ -156,8 +157,9 @@ class InvalidationEngine:
     def _start(self, st: _TxnState) -> None:
         faults = self.net.faults
         if faults is not None:
-            degraded, downgraded = degrade_plan(
+            degraded, downgraded, rerouted = degrade_plan(
                 st.plan, self.net.mesh, faults, self.sim.now)
+            st.reroutes += rerouted
             if downgraded:
                 st.downgrades += downgraded
                 st.plan = degraded
@@ -548,7 +550,8 @@ class InvalidationEngine:
             home_sent=st.home_sent, home_recv=st.home_recv,
             total_messages=len(st.worms),
             flit_hops=sum(w.flit_hops for w in st.worms),
-            attempts=st.attempt, downgrades=st.downgrades)
+            attempts=st.attempt, downgrades=st.downgrades,
+            reroutes=st.reroutes)
         self.records.append(record)
         self._teardown(st)
         st.done.succeed(record)

@@ -366,6 +366,50 @@ def plan_sci_chain(mesh: Mesh2D, home: int,
 
 
 # ----------------------------------------------------------------------
+# Fault-time re-planning helper
+# ----------------------------------------------------------------------
+def split_group_for_faults(routing, home: int, group: InvalGroup,
+                           deliverable: Callable[[tuple[int, ...]], bool],
+                           ) -> list[InvalGroup]:
+    """Split a multidestination ``group`` into maximal sub-chains the
+    ``deliverable(dests)`` predicate accepts, preserving visit order.
+
+    Used by :func:`repro.faults.fallback.degrade_plan` when fault-aware
+    routing can still serve *part* of a blocked chain: instead of
+    degrading every destination to a unicast, contiguous deliverable runs
+    stay multidestination worms.  Runs of one destination — and runs that
+    are no longer BRCP-conformant from ``home`` under the base
+    ``routing`` once cut loose from their prefix — become unicasts.  A
+    predicate that rejects everything reproduces the pure per-destination
+    unicast split.
+    """
+    runs: list[list[int]] = []
+    current: list[int] = []
+    for d in group.dests:
+        trial = current + [d]
+        if deliverable(tuple(trial)):
+            current = trial
+        else:
+            if current:
+                runs.append(current)
+            current = [d]
+    if current:
+        runs.append(current)
+    out: list[InvalGroup] = []
+    for run in runs:
+        if (len(run) > 1 and deliverable(tuple(run))
+                and is_conformant_path(routing, home, run)):
+            out.append(InvalGroup(
+                group.kind, tuple(run),
+                reserve_only=group.reserve_only & frozenset(run),
+                extra_reserve=group.extra_reserve & frozenset(run),
+                no_reserve=group.no_reserve & frozenset(run)))
+        else:
+            out.extend(InvalGroup(WormKind.UNICAST, (d,)) for d in run)
+    return out
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 PlanBuilder = Callable[[Mesh2D, int, Sequence[int]], InvalidationPlan]

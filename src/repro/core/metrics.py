@@ -36,6 +36,9 @@ class TransactionRecord:
     attempts: int = 1
     #: Multidestination groups degraded to unicast around known faults.
     downgrades: int = 0
+    #: Blocked worm paths kept multidestination because fault-aware
+    #: routing detours around the known fault map.
+    reroutes: int = 0
 
     @property
     def retries(self) -> int:

@@ -15,9 +15,25 @@ failed regions:
   planned worm path (invalidation groups, column gathers, or row
   gathers) downgrades the whole transaction to UI-UA.
 
+Under **fault-aware routing** (``"<base>+ft"``, see
+:class:`~repro.network.routing.FaultAwareRouting`) the decision rule
+gains a cheaper first resort — *reroute before downgrade*:
+
+* a blocked multidestination group whose destinations the fault-aware
+  walk still reaches (detouring around the fault map) is kept whole and
+  counted as a **reroute**, not a downgrade;
+* a group the walk cannot serve whole is split into maximal deliverable
+  sub-chains (:func:`repro.core.grouping.split_group_for_faults`) — the
+  deliverable runs stay multidestination worms, the rest degrade to
+  unicasts;
+* an MA/chain plan is kept whole when *every* blocked path is
+  ft-deliverable (the ack choreography is then intact), else it falls
+  back to UI-UA as before.
+
 The degraded plan keeps the original scheme name so that per-scheme
 metrics stay attributable; the number of multidestination groups
-replaced is reported as the transaction's downgrade count.
+replaced is reported as the transaction's downgrade count and the number
+of paths saved by detouring as its reroute count.
 """
 
 from __future__ import annotations
@@ -44,38 +60,67 @@ def _plan_paths(plan: InvalidationPlan):
 
 
 def degrade_plan(plan: InvalidationPlan, mesh: Mesh2D, faults: FaultState,
-                 now: int) -> tuple[InvalidationPlan, int]:
-    """Return ``(plan', downgraded_groups)`` re-planned around known faults.
+                 now: int) -> tuple[InvalidationPlan, int, int]:
+    """Return ``(plan', downgraded_groups, rerouted_paths)`` re-planned
+    around known faults.
 
-    ``downgraded_groups`` is 0 when the plan is untouched.
+    ``downgraded_groups`` counts multidestination groups replaced by
+    unicasts (or whole-plan fallbacks); ``rerouted_paths`` counts blocked
+    paths kept multidestination because fault-aware routing detours
+    around the fault map.  Both are 0 when the plan is untouched.
     """
     multi = sum(1 for g in plan.groups if len(g.dests) > 1)
     if multi == 0 and not plan.junctions:
-        return plan, 0
+        return plan, 0, 0
+
+    ft = faults.ft_routing
 
     def blocked(src, dests) -> bool:
         return faults.path_known_blocked(src, dests, now)
 
+    def ft_deliverable(src, dests) -> bool:
+        return ft is not None and ft.route_walk(
+            src, dests, now, permanent_only=True) is not None
+
     ack_only = all(a[0] == ACT_ACK for a in plan.sharer_actions.values())
     if ack_only:
         groups: list[InvalGroup] = []
-        changed = 0
+        downgraded = rerouted = 0
         for g in plan.groups:
             if len(g.dests) > 1 and blocked(plan.home, g.dests):
-                groups.extend(InvalGroup(WormKind.UNICAST, (d,))
-                              for d in g.dests)
-                changed += 1
+                if ft_deliverable(plan.home, g.dests):
+                    groups.append(g)
+                    rerouted += 1
+                elif ft is not None:
+                    from repro.core.grouping import split_group_for_faults
+                    pieces = split_group_for_faults(
+                        ft.base, plan.home, g,
+                        lambda run: ft_deliverable(plan.home, run))
+                    groups.extend(pieces)
+                    downgraded += 1
+                    rerouted += sum(1 for p in pieces if len(p.dests) > 1)
+                else:
+                    groups.extend(InvalGroup(WormKind.UNICAST, (d,))
+                                  for d in g.dests)
+                    downgraded += 1
             else:
                 groups.append(g)
-        if not changed:
-            return plan, 0
-        return replace(plan, groups=tuple(groups)), changed
+        if not downgraded and not rerouted:
+            return plan, 0, 0
+        if not downgraded:
+            # Every blocked group was kept whole: the plan is unchanged.
+            return plan, 0, rerouted
+        return replace(plan, groups=tuple(groups)), downgraded, rerouted
 
-    # MA / chain plan: all-or-nothing fallback.
-    if not any(blocked(src, dests) for src, dests in _plan_paths(plan)):
-        return plan, 0
+    # MA / chain plan: reroute-whole or all-or-nothing fallback.
+    blocked_paths = [(src, dests) for src, dests in _plan_paths(plan)
+                     if blocked(src, dests)]
+    if not blocked_paths:
+        return plan, 0, 0
+    if all(ft_deliverable(src, dests) for src, dests in blocked_paths):
+        return plan, 0, len(blocked_paths)
     from repro.core.grouping import plan_ui_ua
     fallback = plan_ui_ua(mesh, plan.home, plan.sharers)
     fallback = replace(fallback, scheme=plan.scheme)
     downgraded = max(1, multi)
-    return fallback, downgraded
+    return fallback, downgraded, 0

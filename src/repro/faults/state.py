@@ -57,6 +57,17 @@ class FaultState:
         self.injections_seen = 0
         # Statistics, by reason.
         self.drops = {REASON_LINK: 0, REASON_ROUTER: 0, REASON_DROP: 0}
+        #: Fault-aware routing wrapper, set by
+        #: ``MeshNetwork.install_faults`` when the network routes with
+        #: one; the injection filter then uses its greedy fault-aware
+        #: walk instead of the base walk to decide a worm's fate.
+        self.ft_routing = None
+
+    @property
+    def topology_faults(self) -> bool:
+        """True when the plan contains any link or router fault (the
+        condition under which fault-aware routing has work to do)."""
+        return bool(self._links or self._routers)
 
     # ------------------------------------------------------------------
     # Topology state queries
@@ -70,15 +81,23 @@ class FaultState:
                 return True
         return False
 
-    def link_down(self, a: int, b: int, now: int) -> bool:
-        """True when the (bidirectional) link a<->b is down at ``now``."""
-        windows = self._links.get((min(a, b), max(a, b)))
-        return windows is not None and self._active(windows, now)
+    def link_down(self, a: int, b: int, now: int,
+                  permanent_only: bool = False) -> bool:
+        """True when the (bidirectional) link a<->b is down at ``now``.
 
-    def router_down(self, node: int, now: int) -> bool:
-        """True when ``node``'s router is down at ``now``."""
+        ``permanent_only=True`` restricts to the known fault map:
+        permanent faults that have already started."""
+        windows = self._links.get((min(a, b), max(a, b)))
+        return windows is not None and self._active(windows, now,
+                                                    permanent_only)
+
+    def router_down(self, node: int, now: int,
+                    permanent_only: bool = False) -> bool:
+        """True when ``node``'s router is down at ``now`` (see
+        :meth:`link_down` for ``permanent_only``)."""
         windows = self._routers.get(node)
-        return windows is not None and self._active(windows, now)
+        return windows is not None and self._active(windows, now,
+                                                    permanent_only)
 
     def walk_of(self, src: int, dests) -> Optional[list[int]]:
         """The hop-by-hop walk a worm would take (preferred channels)."""
@@ -154,6 +173,17 @@ class FaultState:
         if self.router_down(worm.src, now):
             self.drops[REASON_ROUTER] += 1
             return REASON_ROUTER, 0
+        if self.ft_routing is not None:
+            # Fault-aware routing: the worm lives iff the greedy
+            # fault-filtered walk reaches every destination without being
+            # forced across a dead hop.  This decision is authoritative —
+            # a worm let through here is carried even if contention later
+            # steers it differently.  When the walk fails, fall through
+            # to the base walk for loss classification and traffic
+            # accounting (it names the blocking fault).
+            if self.ft_routing.route_walk(worm.src, worm.dests,
+                                          now) is not None:
+                return None
         walk = self.walk_of(worm.src, worm.dests)
         if walk is None:
             return None

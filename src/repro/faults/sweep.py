@@ -36,15 +36,20 @@ def run_fault_sweep(schemes: Sequence[str], drop_probs: Sequence[float],
                     degree: int = 8, per_point: int = 10,
                     params: Optional[SystemParameters] = None,
                     link_faults: int = 0, router_faults: int = 0,
-                    kind: str = "uniform", seed: int = 0) -> list[dict]:
+                    kind: str = "uniform", seed: int = 0,
+                    fault_aware: bool = False) -> list[dict]:
     """Row dicts for every (scheme, drop probability) grid point.
 
     ``link_faults``/``router_faults`` add that many permanent random
     dead links/routers on top of each non-zero drop probability.  The
     pattern stream is shared across schemes and fault levels, so the
     comparison is paired; everything is a pure function of ``seed``.
+    ``fault_aware=True`` routes every point with the scheme's ``+ft``
+    fault-aware routing (reroute before downgrade).
     """
     params = params or paper_parameters()
+    if fault_aware and not params.fault_aware_routing:
+        params = params.evolve(fault_aware_routing=True)
     for scheme in schemes:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; "
@@ -83,7 +88,8 @@ def _run_point(scheme: str, prob: float, fault_plan: Optional[FaultPlan],
     if fault_plan is not None and not fault_plan.empty:
         net.install_faults(fault_plan)
     completed = failed = 0
-    latency, retries, downgrades = Tally("lat"), Tally("rty"), Tally("dg")
+    latency, retries = Tally("lat"), Tally("rty")
+    downgrades, reroutes = Tally("dg"), Tally("rr")
     for pattern in patterns:
         plan = build_plan(scheme, net.mesh, pattern.home, pattern.sharers)
         try:
@@ -95,6 +101,7 @@ def _run_point(scheme: str, prob: float, fault_plan: Optional[FaultPlan],
         latency.add(record.latency)
         retries.add(record.retries)
         downgrades.add(record.downgrades)
+        reroutes.add(record.reroutes)
     issued = completed + failed
     return {
         "scheme": scheme,
@@ -106,5 +113,7 @@ def _run_point(scheme: str, prob: float, fault_plan: Optional[FaultPlan],
         "latency": latency.mean if completed else float("nan"),
         "retries": retries.mean if completed else float("nan"),
         "downgrades": downgrades.mean if completed else float("nan"),
+        "reroutes": reroutes.mean if completed else float("nan"),
         "worms_dropped": net.worms_dropped,
+        "detours": net.detours,
     }

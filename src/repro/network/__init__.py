@@ -19,18 +19,23 @@ kernel; it sleeps whenever no worm is in flight.
 """
 
 from repro.network.network import MeshNetwork
-from repro.network.routing import ECubeRouting, Routing, WestFirstRouting, make_routing
+from repro.network.routing import (ECubeRouting, FaultAwareRouting, Routing,
+                                   RoutingError, WestFirstRouting,
+                                   available_routings, make_routing)
 from repro.network.topology import Mesh2D, Port
 from repro.network.worm import Worm, WormKind
 
 __all__ = [
     "ECubeRouting",
+    "FaultAwareRouting",
     "Mesh2D",
     "MeshNetwork",
     "Port",
     "Routing",
+    "RoutingError",
     "WestFirstRouting",
     "Worm",
     "WormKind",
+    "available_routings",
     "make_routing",
 ]

@@ -44,7 +44,11 @@ class MeshNetwork:
         self.sim = sim
         self.params = params
         self.mesh = Mesh2D(params.mesh_width, params.mesh_height)
-        self.routing = make_routing(routing, self.mesh)
+        from repro.network.routing import FT_SUFFIX
+        if params.fault_aware_routing and not routing.endswith(FT_SUFFIX):
+            routing = routing + FT_SUFFIX
+        self.routing = make_routing(routing, self.mesh,
+                                    detour_limit=params.detour_limit)
         self.routers: list[Router] = []
         for node in self.mesh.nodes():
             x, y = self.mesh.coords(node)
@@ -77,6 +81,8 @@ class MeshNetwork:
             lambda worm, reason: None
         self.worms_dropped = 0
         self.drop_log: list[tuple[int, int, str]] = []
+        #: Non-minimal detour hops allocated (fault-aware routing only).
+        self.detours = 0
 
         # Statistics.
         self.total_flit_hops = 0
@@ -106,9 +112,21 @@ class MeshNetwork:
     # ------------------------------------------------------------------
     def install_faults(self, plan) -> "FaultState":
         """Attach a :class:`~repro.faults.plan.FaultPlan` to this network;
-        returns the live :class:`~repro.faults.state.FaultState`."""
+        returns the live :class:`~repro.faults.state.FaultState`.
+
+        Walk-based fault queries always use the *base* routing (a BRCP
+        path's legality is defined against it); a fault-aware routing is
+        additionally armed with the state so per-hop candidate selection
+        and the injection filter consult the live fault map."""
         from repro.faults.state import FaultState
-        self.faults = FaultState(plan, self.mesh, self.routing)
+        from repro.network.routing import FaultAwareRouting
+        routing = self.routing
+        base = routing.base if isinstance(routing, FaultAwareRouting) \
+            else routing
+        self.faults = FaultState(plan, self.mesh, base)
+        if isinstance(routing, FaultAwareRouting):
+            routing.attach_faults(self.faults)
+            self.faults.ft_routing = routing
         return self.faults
 
     def inject(self, worm: Worm) -> None:

@@ -288,8 +288,13 @@ class Router:
 
         Deterministic routing offers one candidate port; the adaptive
         west-first model offers several and the first free one wins
-        (stalling on the most-preferred when none is free)."""
-        ports = network.routing.candidates(self.node, dest)
+        (stalling on the most-preferred when none is free).  Fault-aware
+        routings filter the set per hop and may offer a non-minimal
+        detour, which is charged against the worm's misroute budget only
+        when actually taken."""
+        worm = vc.worm
+        ports, detour = network.routing.hop_candidates(
+            self.node, dest, vc.port, worm.misroutes, network.sim.now)
         assert ports, "output allocation for a worm already at its target"
         for port in ports:
             key = (port, vc.vnet)
@@ -299,6 +304,9 @@ class Router:
                 vc.out_port = port
                 vc.absorb = absorb
                 vc.state = VCState.FORWARD
+                if detour:
+                    worm.misroutes += 1
+                    network.detours += 1
                 return True
         return False
 

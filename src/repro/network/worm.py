@@ -94,6 +94,8 @@ class Worm:
     delivered_at: Optional[int] = None
     #: Total link traversals of all flits (filled by the network).
     flit_hops: int = 0
+    #: Non-minimal detour hops taken so far (fault-aware routing budget).
+    misroutes: int = 0
 
     def __post_init__(self) -> None:
         if not self.dests:

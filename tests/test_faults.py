@@ -188,7 +188,7 @@ def test_degrade_splits_blocked_multidest_groups():
     # Kill the column link the multidestination worm must cross.
     fs = _state(mesh, FaultPlan(link_faults=(
         LinkFault(mesh.node_at(0, 1), mesh.node_at(0, 2)),)))
-    degraded, downgrades = degrade_plan(plan, mesh, fs, now=0)
+    degraded, downgrades, _reroutes = degrade_plan(plan, mesh, fs, now=0)
     assert downgrades == 1
     assert degraded.scheme == plan.scheme
     assert all(g.kind is WormKind.UNICAST and len(g.dests) == 1
@@ -202,7 +202,7 @@ def test_degrade_leaves_clean_paths_alone():
     plan = build_plan("mi-ua-ec", mesh, 0, [8, 16, 24])
     fs = _state(mesh, FaultPlan(link_faults=(
         LinkFault(62, 63),)))  # far corner, not on any path
-    degraded, downgrades = degrade_plan(plan, mesh, fs, now=0)
+    degraded, downgrades, _reroutes = degrade_plan(plan, mesh, fs, now=0)
     assert downgrades == 0
     assert degraded is plan
 
@@ -214,7 +214,7 @@ def test_degrade_ma_plan_falls_back_whole():
     plan = build_plan("mi-ma-ec", mesh, home, sharers)
     fs = _state(mesh, FaultPlan(link_faults=(
         LinkFault(mesh.node_at(3, 2), mesh.node_at(3, 3)),)))
-    degraded, downgrades = degrade_plan(plan, mesh, fs, now=0)
+    degraded, downgrades, _reroutes = degrade_plan(plan, mesh, fs, now=0)
     assert downgrades >= 1
     assert degraded.scheme == "mi-ma-ec"   # attribution preserved
     assert not degraded.junctions
@@ -228,7 +228,7 @@ def test_degrade_ignores_not_yet_started_faults():
                       [mesh.node_at(0, 3), mesh.node_at(0, 5)])
     fs = _state(mesh, FaultPlan(link_faults=(
         LinkFault(mesh.node_at(0, 1), mesh.node_at(0, 2), start=10_000),)))
-    _, downgrades = degrade_plan(plan, mesh, fs, now=0)
+    _, downgrades, _reroutes = degrade_plan(plan, mesh, fs, now=0)
     assert downgrades == 0
 
 

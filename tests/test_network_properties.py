@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import SystemParameters
-from repro.network import MeshNetwork, Worm, WormKind
+from repro.network import MeshNetwork, Worm, WormKind, available_routings
 from repro.network.router import VCState
 from repro.network.worm import VNET_REPLY, VNET_REQUEST
 from repro.sim import Simulator
@@ -21,14 +21,18 @@ def drain(sim, net, limit=500_000):
     sim.run(until=sim.now)
 
 
+@pytest.mark.parametrize("routing", available_routings())
 @settings(max_examples=20, deadline=None)
 @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63),
                           st.integers(2, 40), st.integers(0, 1)),
                 min_size=1, max_size=25))
-def test_unicast_storm_all_delivered_flits_conserved(messages):
+def test_unicast_storm_all_delivered_flits_conserved(routing, messages):
+    """Flit conservation and clean drain hold for *every* registered
+    routing scheme (base and fault-aware alike), so new schemes inherit
+    the harness for free."""
     sim = Simulator()
     params = SystemParameters()
-    net = MeshNetwork(sim, params, "ecube")
+    net = MeshNetwork(sim, params, routing)
     worms = []
     expected_hops = 0
     for src, dst, size, vnet in messages:
@@ -105,11 +109,14 @@ def test_multicast_delivers_exactly_once_per_destination(src, dest_set,
     assert sorted(delivered) == sorted(injected_dests)
 
 
-def test_mixed_vnet_storm_with_multicasts_drains_clean():
+@pytest.mark.parametrize("routing", available_routings())
+def test_mixed_vnet_storm_with_multicasts_drains_clean(routing):
+    """Deadlock freedom under mixed traffic for every registered
+    routing scheme: the storm drains with all deliveries made."""
     rng = np.random.default_rng(12)
     sim = Simulator()
     params = SystemParameters()
-    net = MeshNetwork(sim, params, "ecube")
+    net = MeshNetwork(sim, params, routing)
     mesh = net.mesh
     count = 0
     for _ in range(15):

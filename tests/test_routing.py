@@ -3,8 +3,11 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.network.routing import (ECubeRouting, WestFirstRouting,
-                                   make_routing, walk_is_conformant)
+from repro.network.routing import (ECubeRouting, FaultAwareRouting,
+                                   FullyAdaptiveRouting, Routing,
+                                   RoutingError, WestFirstRouting,
+                                   available_routings, make_routing,
+                                   walk_is_conformant)
 from repro.network.topology import Mesh2D, Port
 
 
@@ -133,6 +136,83 @@ def test_make_routing_factory():
     assert isinstance(make_routing("westfirst", mesh), WestFirstRouting)
     with pytest.raises(ValueError, match="unknown routing"):
         make_routing("bogus", mesh)
+
+
+def test_make_routing_aliases_and_ft_suffix():
+    mesh = Mesh2D(4, 4)
+    assert isinstance(make_routing("fa", mesh), FullyAdaptiveRouting)
+    assert isinstance(make_routing("ec", mesh), ECubeRouting)
+    for name, base_cls in (("fa+ft", FullyAdaptiveRouting),
+                           ("wf+ft", WestFirstRouting),
+                           ("ecube+ft", ECubeRouting)):
+        r = make_routing(name, mesh, detour_limit=3)
+        assert isinstance(r, FaultAwareRouting)
+        assert isinstance(r.base, base_cls)
+        assert r.name == base_cls.name + "+ft"
+        assert r.detour_limit == 3
+        assert not r.armed  # no fault state attached yet
+    with pytest.raises(ValueError, match="unknown routing modifier"):
+        make_routing("ecube+turbo", mesh)
+    with pytest.raises(ValueError, match="unknown routing"):
+        make_routing("bogus+ft", mesh)
+
+
+def test_available_routings_lists_base_and_ft():
+    names = available_routings()
+    assert {"ecube", "westfirst", "adaptive"} <= set(names)
+    for base in ("ecube", "westfirst", "adaptive"):
+        assert base + "+ft" in names
+
+
+def test_unarmed_ft_wrapper_delegates_exactly():
+    mesh = Mesh2D(8, 8)
+    ft = make_routing("wf+ft", mesh)
+    base = WestFirstRouting(mesh)
+    for src in (0, 9, 27):
+        for dst in (5, 40, 63):
+            assert ft.candidates(src, dst) == base.candidates(src, dst)
+            if src != dst:
+                assert ft.route_hops(src, dst) == base.route_hops(src, dst)
+                ports, detour = ft.hop_candidates(src, dst, Port.LOCAL, 0, 0)
+                assert ports == base.candidates(src, dst) and not detour
+    for inc in (None, Port.WEST, Port.SOUTH):
+        for out in (Port.EAST, Port.WEST, Port.NORTH):
+            assert ft.turn_allowed(inc, out) == base.turn_allowed(inc, out)
+
+
+# ----------------------------------------------------------------------
+# Typed routing errors (no bare asserts off the mesh)
+# ----------------------------------------------------------------------
+class _OffMeshRouting(Routing):
+    name = "offmesh"
+
+    def candidates(self, current, dst):
+        return [Port.WEST]  # marches off the western edge
+
+
+class _StuckRouting(Routing):
+    name = "stuck"
+
+    def candidates(self, current, dst):
+        return []  # never offers a port
+
+
+def test_route_hops_off_mesh_raises_typed_error():
+    mesh = Mesh2D(4, 4)
+    with pytest.raises(RoutingError, match="walked off the mesh"):
+        _OffMeshRouting(mesh).route_hops(0, 3)
+
+
+def test_route_hops_without_candidates_raises_typed_error():
+    mesh = Mesh2D(4, 4)
+    with pytest.raises(RoutingError, match="no candidate port"):
+        _StuckRouting(mesh).route_hops(0, 3)
+
+
+def test_routing_error_is_not_assertion_error():
+    # Callers can catch it without relying on -O-stripped asserts.
+    assert issubclass(RoutingError, Exception)
+    assert not issubclass(RoutingError, AssertionError)
 
 
 def test_walk_requires_single_hops():
