@@ -1,0 +1,320 @@
+#!/usr/bin/env python
+"""Reproducible performance harness for the cycle engine.
+
+Runs a registry of figure workloads (mirroring the ``bench_fig_*``
+suite at CI scale) on BOTH cycle-engine kernels — the optimized
+``"fast"`` kernel and the frozen pre-optimization ``"legacy"`` reference
+(:mod:`repro.network.legacy`) — in parallel worker processes, and emits
+``BENCH_perf.json`` at the repo root with, per workload and kernel:
+
+* wall-clock seconds,
+* network cycles stepped and cycles/second,
+* simulator callbacks dispatched (``Simulator.dispatched``) and
+  dispatched/second,
+* the aggregated per-phase counters (:meth:`MeshNetwork.phase_counters`),
+* a SHA-256 digest of the workload's full numeric output — the two
+  kernels must produce *identical* digests (bit-identical simulation),
+  and the harness exits non-zero if they ever disagree.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py            # full run
+    PYTHONPATH=src python benchmarks/harness.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/harness.py --min-speedup 1.5
+
+``--smoke`` shrinks every workload so the whole harness finishes in
+well under a minute; CI runs it on every push and uploads the JSON as
+an artifact.  The deeper bit-exactness proof over raw
+``TransactionRecord`` streams lives in ``tests/test_golden_kernel.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from datetime import datetime, timezone
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:  # allow `python benchmarks/harness.py` directly
+    sys.path.insert(0, _SRC)
+
+#: Kernel run order: legacy (baseline) first, then the optimized kernel.
+KERNELS = ("legacy", "fast")
+
+#: The workload the acceptance criterion (>= 1.5x) is judged on.
+REPRESENTATIVE = "fig_latency_vs_sharing"
+
+#: Router classes each kernel must have built (sanity check that the
+#: ``params.kernel`` knob actually reached ``make_network``).
+_EXPECTED_NETWORK = {"fast": "MeshNetwork", "legacy": "LegacyMeshNetwork"}
+
+
+# ----------------------------------------------------------------------
+# Workload registry — each entry: fn(scale, kernel) -> digestible result
+# ----------------------------------------------------------------------
+def _wl_latency_vs_sharing(scale: str, kernel: str):
+    """Figure E4 (the paper's central figure): latency vs sharing degree
+    across all seven schemes — the representative workload."""
+    from repro.analysis import run_invalidation_sweep
+    from repro.config import paper_parameters
+
+    if scale == "smoke":
+        schemes = ["ui-ua", "mi-ua-ec", "mi-ma-ec"]
+        degrees = [1, 4, 8]
+        per = 2
+    else:
+        schemes = ["ui-ua", "mi-ua-ec", "mi-ua-tm", "ui-ma-ec",
+                   "mi-ma-ec", "mi-ma-ec-u", "mi-ma-tm"]
+        degrees = [1, 2, 4, 8, 16, 32]
+        per = 5
+    params = paper_parameters(8, kernel=kernel)
+    return run_invalidation_sweep(schemes, degrees, per_degree=per,
+                                  params=params, seed=11)
+
+
+def _wl_column_traffic(scale: str, kernel: str):
+    """Figure E6-style column-clustered sweep (dense BRCP chains)."""
+    from repro.analysis import run_invalidation_sweep
+    from repro.config import paper_parameters
+
+    schemes = ["ui-ua", "mi-ua-ec", "mi-ma-ec"]
+    degrees = [2, 8] if scale == "smoke" else [2, 8, 16]
+    per = 1 if scale == "smoke" else 4
+    params = paper_parameters(8, kernel=kernel)
+    return run_invalidation_sweep(schemes, degrees, per_degree=per,
+                                  params=params, kind="column", seed=7)
+
+
+def _wl_iack_buffers(scale: str, kernel: str):
+    """Figure E7-style i-ack buffer sensitivity: concurrent MI-MA
+    transactions contending for reservation entries."""
+    import numpy as np
+
+    from repro.config import paper_parameters
+    from repro.core import InvalidationEngine, build_plan
+    from repro.network import make_network
+    from repro.sim import Simulator
+    from repro.workloads.patterns import pattern_column_clustered
+
+    concurrent, batches, degree = (2, 1, 6) if scale == "smoke" \
+        else (4, 2, 10)
+    rows = []
+    for iack_buffers in (2, 4):
+        params = paper_parameters(8, iack_buffers=iack_buffers,
+                                  kernel=kernel)
+        sim = Simulator()
+        net = make_network(sim, params, "ecube")
+        engine = InvalidationEngine(sim, net, params)
+        rng = np.random.default_rng(5)
+        latencies = []
+        for _ in range(batches):
+            states = []
+            for _ in range(concurrent):
+                pat = pattern_column_clustered(net.mesh, degree, rng,
+                                               columns=2)
+                states.append(engine.execute(
+                    build_plan("mi-ma-ec", net.mesh, pat.home,
+                               pat.sharers)))
+            for st in states:
+                latencies.append(
+                    sim.run_until_event(st.done, limit=50_000_000).latency)
+        rows.append({"iack_buffers": iack_buffers,
+                     "latencies": latencies,
+                     "reserve_blocked": sum(
+                         r.interface.iack.reserve_blocked
+                         for r in net.routers)})
+    return rows
+
+
+WORKLOADS = {
+    "fig_latency_vs_sharing": _wl_latency_vs_sharing,
+    "fig_column_traffic": _wl_column_traffic,
+    "fig_iack_buffers": _wl_iack_buffers,
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def _digest(result) -> str:
+    """Order-stable SHA-256 of a workload's full numeric output."""
+    if isinstance(result, list):
+        canonical = [sorted(r.items()) if isinstance(r, dict) else r
+                     for r in result]
+    else:
+        canonical = result
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+
+def run_workload(name: str, scale: str, kernel: str) -> dict:
+    """Run one workload under one kernel, capturing timing, simulator
+    throughput, per-phase counters, and the output digest."""
+    from repro.network import network as network_mod
+
+    networks: list = []
+    network_mod.PROFILE_REGISTRY = networks
+    start = time.perf_counter()
+    try:
+        result = WORKLOADS[name](scale, kernel)
+    finally:
+        network_mod.PROFILE_REGISTRY = None
+    wall = time.perf_counter() - start
+
+    classes = sorted({type(net).__name__ for net in networks})
+    expected = _EXPECTED_NETWORK[kernel]
+    if classes != [expected]:
+        raise RuntimeError(
+            f"workload {name!r} with kernel={kernel!r} built {classes}, "
+            f"expected only {expected!r} — a construction site bypasses "
+            f"make_network()")
+    cycles = sum(net.cycles_stepped for net in networks)
+    sims = {id(net.sim): net.sim for net in networks}
+    dispatched = sum(sim.dispatched for sim in sims.values())
+    counters: dict = {}
+    for net in networks:
+        for key, value in net.phase_counters().items():
+            if key == "busy_sort_rate":
+                continue
+            counters[key] = counters.get(key, 0) + value
+    return {
+        "wall_s": round(wall, 4),
+        "cycles": cycles,
+        "cycles_per_s": round(cycles / wall) if wall > 0 else None,
+        "dispatched": dispatched,
+        "dispatched_per_s": round(dispatched / wall) if wall > 0 else None,
+        "networks": len(networks),
+        "counters": counters,
+        "digest": _digest(result),
+    }
+
+
+def bench_one(name: str, scale: str, repeats: int = 1) -> dict:
+    """Worker entry: run ``name`` on both kernels in this process.
+
+    With ``repeats > 1``, each kernel runs several times and the best
+    (minimum) wall time is kept — the standard way to damp scheduler and
+    cache noise.  Digests must agree across repeats AND kernels.
+    """
+    entry: dict = {"workload": name}
+    for kernel in KERNELS:
+        runs = [run_workload(name, scale, kernel)
+                for _ in range(max(1, repeats))]
+        digests = {r["digest"] for r in runs}
+        if len(digests) != 1:
+            raise RuntimeError(
+                f"workload {name!r} kernel={kernel!r} is not "
+                f"run-to-run deterministic: {sorted(digests)}")
+        best = min(runs, key=lambda r: r["wall_s"])
+        best["repeats"] = len(runs)
+        entry[kernel] = best
+    fast, legacy = entry["fast"], entry["legacy"]
+    entry["speedup"] = (round(legacy["wall_s"] / fast["wall_s"], 3)
+                        if fast["wall_s"] > 0 else None)
+    entry["deterministic_match"] = fast["digest"] == legacy["digest"]
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the figure workloads on the fast and legacy "
+                    "kernels; emit BENCH_perf.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrunken workloads for CI (seconds, not "
+                             "minutes)")
+    parser.add_argument("--out",
+                        default=os.path.join(REPO_ROOT, "BENCH_perf.json"),
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker processes (default: one "
+                             "per workload, capped at CPU count)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated subset of: "
+                             + ", ".join(WORKLOADS))
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per kernel per workload, best "
+                             "wall kept (default: 3 full, 1 smoke)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the representative workload's "
+                             "fast-vs-legacy speedup reaches this factor")
+    args = parser.parse_args(argv)
+
+    names = list(WORKLOADS)
+    if args.workloads:
+        names = [n for n in args.workloads.split(",") if n]
+        unknown = [n for n in names if n not in WORKLOADS]
+        if unknown:
+            parser.error(f"unknown workload(s) {unknown}; "
+                         f"choose from {list(WORKLOADS)}")
+    scale = "smoke" if args.smoke else "ci"
+    jobs = args.jobs or min(len(names), os.cpu_count() or 1)
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    print(f"[harness] {len(names)} workload(s) x {len(KERNELS)} kernels, "
+          f"scale={scale}, jobs={jobs}, repeats={repeats}")
+    started = time.perf_counter()
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            entries = list(pool.map(bench_one, names,
+                                    [scale] * len(names),
+                                    [repeats] * len(names)))
+    else:
+        entries = [bench_one(name, scale, repeats) for name in names]
+    harness_wall = time.perf_counter() - started
+
+    ok = True
+    for entry in entries:
+        match = entry["deterministic_match"]
+        ok = ok and match
+        print(f"[harness] {entry['workload']:<26} "
+              f"legacy {entry['legacy']['wall_s']:7.3f}s  "
+              f"fast {entry['fast']['wall_s']:7.3f}s  "
+              f"speedup {entry['speedup']:5.2f}x  "
+              f"{'bit-identical' if match else 'OUTPUT MISMATCH'}")
+
+    by_name = {e["workload"]: e for e in entries}
+    representative = by_name.get(REPRESENTATIVE)
+    payload = {
+        "schema": 1,
+        "generated_by": "benchmarks/harness.py",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "scale": scale,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "harness_wall_s": round(harness_wall, 3),
+        "representative": REPRESENTATIVE,
+        "representative_speedup": (representative["speedup"]
+                                   if representative else None),
+        "all_deterministic": ok,
+        "workloads": {e.pop("workload"): e for e in entries},
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"[harness] wrote {args.out}")
+
+    if not ok:
+        print("[harness] FAIL: kernels disagreed on at least one "
+              "workload output", file=sys.stderr)
+        return 1
+    if (args.min_speedup is not None and representative is not None
+            and representative["speedup"] < args.min_speedup):
+        print(f"[harness] FAIL: representative speedup "
+              f"{representative['speedup']}x < {args.min_speedup}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

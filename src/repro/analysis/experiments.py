@@ -18,7 +18,7 @@ from repro.coherence.system import DSMSystem
 from repro.core.engine import InvalidationEngine
 from repro.core.grouping import SCHEMES, build_plan
 from repro.core.metrics import aggregate_records
-from repro.network import MeshNetwork
+from repro.network import make_network
 from repro.sim import Simulator, Tally
 from repro.workloads.patterns import make_pattern
 
@@ -47,7 +47,7 @@ def run_invalidation_sweep(schemes: Sequence[str], degrees: Sequence[int],
     for scheme in schemes:
         routing = SCHEMES[scheme][1]
         sim = Simulator()
-        net = MeshNetwork(sim, params, routing)
+        net = make_network(sim, params, routing)
         engine = InvalidationEngine(sim, net, params)
         for degree in degrees:
             latency, messages = Tally("lat"), Tally("msg")

@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Multidestination cache invalidation in wormhole "
                     "DSMs (Dai & Panda, ICPP 1996) — reproduction tools")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the command under cProfile and report "
+                             "the hottest functions plus the per-phase "
+                             "cycle counters of every network built "
+                             "(written to stderr)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", help="print the system parameters")
@@ -300,9 +305,43 @@ _COMMANDS = {
 }
 
 
+def _run_profiled(args) -> int:
+    """Run a command under cProfile; dump hot functions and the
+    per-phase cycle counters of every network the command built."""
+    import cProfile
+    import io
+    import pstats
+
+    from repro.network import network as network_mod
+
+    networks: list = []
+    network_mod.PROFILE_REGISTRY = networks
+    profiler = cProfile.Profile()
+    try:
+        rc = profiler.runcall(_COMMANDS[args.command], args)
+    finally:
+        network_mod.PROFILE_REGISTRY = None
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(20)
+    print("\n== cProfile: top 20 by total time ==", file=sys.stderr)
+    print(stream.getvalue(), file=sys.stderr)
+    for i, net in enumerate(networks):
+        counters = net.phase_counters()
+        kernel = type(net).__name__
+        print(f"== network[{i}] ({kernel}) per-phase counters ==",
+              file=sys.stderr)
+        for key, value in counters.items():
+            shown = f"{value:.3f}" if isinstance(value, float) else value
+            print(f"  {key:<22} {shown}", file=sys.stderr)
+    return rc
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.profile:
+        return _run_profiled(args)
     return _COMMANDS[args.command](args)
 
 

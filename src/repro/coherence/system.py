@@ -31,7 +31,7 @@ from repro.coherence.messages import CohType, coh_payload
 from repro.core.engine import InvalidationEngine
 from repro.core.grouping import SCHEMES, build_plan
 from repro.faults import FaultPlan, TransactionFailed
-from repro.network import MeshNetwork, Worm, WormKind
+from repro.network import Worm, WormKind, make_network
 from repro.network.worm import VNET_REPLY, VNET_REQUEST
 from repro.sim import Event, Facility, Simulator, Tally
 
@@ -72,7 +72,7 @@ class DSMSystem:
         #: after which invalidations broadcast to every node [16, 29].
         self.directory_pointers = directory_pointers
         routing = SCHEMES[scheme][1]
-        self.net = MeshNetwork(sim, params, routing)
+        self.net = make_network(sim, params, routing)
         # Cap concurrent i-ack-buffer transactions so that every router
         # interface can always satisfy its reservations (a transaction
         # needs at most two entries per interface) — without the cap,

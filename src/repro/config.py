@@ -147,6 +147,12 @@ class SystemParameters:
     #: Multidestination header encoding: ``"bitstring"`` keeps a fixed
     #: header; ``"list"`` strips one header flit per visited destination.
     multidest_encoding: str = "bitstring"
+    #: Cycle-engine implementation used by :func:`repro.network.make_network`:
+    #: ``"fast"`` (the optimized kernel) or ``"legacy"`` (the frozen
+    #: pre-optimization reference in :mod:`repro.network.legacy`).  Both
+    #: produce bit-identical simulation results; ``"legacy"`` exists for
+    #: the perf harness baseline and golden-output tests.
+    kernel: str = "fast"
 
     def __post_init__(self) -> None:
         if self.mesh_width < 1 or self.mesh_height < 1:
@@ -171,6 +177,8 @@ class SystemParameters:
             raise ValueError("fault delays must be >= 0")
         if self.detour_limit < 0:
             raise ValueError("detour_limit must be >= 0")
+        if self.kernel not in ("fast", "legacy"):
+            raise ValueError("kernel must be 'fast' or 'legacy'")
 
     # ------------------------------------------------------------------
     # Derived quantities

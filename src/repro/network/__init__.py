@@ -25,6 +25,21 @@ from repro.network.routing import (ECubeRouting, FaultAwareRouting, Routing,
 from repro.network.topology import Mesh2D, Port
 from repro.network.worm import Worm, WormKind
 
+
+def make_network(sim, params, routing: str = "ecube") -> MeshNetwork:
+    """Build the mesh network selected by ``params.kernel``.
+
+    ``"fast"`` (the default) is the optimized cycle engine; ``"legacy"``
+    is the frozen pre-optimization reference kernel used by the perf
+    harness and the golden determinism tests.  Both produce bit-identical
+    simulation results.
+    """
+    if params.kernel == "legacy":
+        from repro.network.legacy import LegacyMeshNetwork
+        return LegacyMeshNetwork(sim, params, routing)
+    return MeshNetwork(sim, params, routing)
+
+
 __all__ = [
     "ECubeRouting",
     "FaultAwareRouting",
@@ -37,5 +52,6 @@ __all__ = [
     "Worm",
     "WormKind",
     "available_routings",
+    "make_network",
     "make_routing",
 ]

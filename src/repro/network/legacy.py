@@ -1,0 +1,339 @@
+"""Frozen reference kernel: the pre-optimization router and step loop.
+
+This module preserves, verbatim in behaviour, the cycle engine as it
+stood before the hot-path optimization pass (dict-keyed output/channel
+state, per-cycle ``sorted(busy)``, string-tagged move tuples, and
+un-memoized routing lookups).  It exists for two reasons:
+
+1. **Golden equivalence** — ``tests/test_golden_kernel.py`` runs the
+   same configuration on both kernels and asserts the full
+   :class:`~repro.core.metrics.TransactionRecord` streams are
+   bit-identical, proving the optimizations change no simulated cycle.
+2. **Perf trajectory** — ``benchmarks/harness.py`` times both kernels
+   on the figure workloads and reports the speedup in
+   ``BENCH_perf.json``, so future regressions are visible.
+
+Select it with ``SystemParameters(kernel="legacy")`` through
+:func:`repro.network.make_network`.  Nothing else should use it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.network.network import MeshNetwork
+from repro.network.router import InputVC, Router, VCState
+from repro.network.topology import MESH_PORTS, Port
+from repro.network.worm import Worm, WormKind
+
+
+class LegacyRouter(Router):
+    """The pre-optimization router: tuple-keyed dicts and full scans."""
+
+    def __init__(self, node: int, x: int, y: int, num_vnets: int,
+                 vc_depth: int, router_delay: int, interface) -> None:
+        # Deliberately does NOT call Router.__init__: this class keeps
+        # the original data layout in full.
+        self.node = node
+        self.x = x
+        self.y = y
+        self.num_vnets = num_vnets
+        self.vc_depth = vc_depth
+        self.router_delay = router_delay
+        self.interface = interface
+        ports = list(MESH_PORTS) + [Port.LOCAL]
+        self.in_vcs: dict[tuple[Port, int], InputVC] = {
+            (p, v): InputVC(p, v) for p in ports for v in range(num_vnets)}
+        self._vc_list = list(self.in_vcs.values())
+        self.out_owner: dict[tuple[Port, int], Optional[InputVC]] = {
+            (p, v): None for p in MESH_PORTS for v in range(num_vnets)}
+        self._rr: dict[Port, int] = {p: 0 for p in MESH_PORTS}
+        self.inject_queue: dict[int, deque[Worm]] = {
+            v: deque() for v in range(num_vnets)}
+        self._inject_active: dict[int, Optional[tuple[Worm, int]]] = {
+            v: None for v in range(num_vnets)}
+        self.links: dict[tuple[Port, int], tuple[Router, InputVC]] = {}
+        self._active_vcs: dict[InputVC, None] = {}
+        self._owned = 0
+        self._sinks = 0
+
+    def set_link(self, port: Port, vnet: int, neighbor: "Router",
+                 dst_vc: InputVC) -> None:
+        self.links[(port, vnet)] = (neighbor, dst_vc)
+
+    def enqueue_inject(self, worm: Worm, front: bool = False) -> None:
+        queue = self.inject_queue[worm.vnet]
+        if front:
+            queue.appendleft(worm)
+        else:
+            queue.append(worm)
+
+    def is_quiescent(self) -> bool:
+        if self._active_vcs:
+            return False
+        for v in range(self.num_vnets):
+            if self.inject_queue[v] or self._inject_active[v] is not None:
+                return False
+        return True
+
+    def phase_decide(self, network: "MeshNetwork") -> None:
+        retire = None
+        for vc in list(self._active_vcs):
+            if vc.state is VCState.IDLE and not vc.buffer:
+                if retire is None:
+                    retire = [vc]
+                else:
+                    retire.append(vc)
+                continue
+            if vc.state is VCState.IDLE and vc.buffer:
+                worm, idx = vc.buffer[0]
+                assert idx == 0, "non-header flit at head of idle VC"
+                vc.worm = worm
+                vc.state = VCState.ROUTING
+                vc.countdown = max(0, self.router_delay - 1)
+                if vc.countdown == 0:
+                    vc.state = VCState.DECIDE
+                    self._resolve(vc, network)
+            elif vc.state is VCState.ROUTING:
+                vc.countdown -= 1
+                if vc.countdown <= 0:
+                    vc.state = VCState.DECIDE
+                    self._resolve(vc, network)
+            elif vc.state is VCState.DECIDE:
+                self._resolve(vc, network)
+        if retire is not None:
+            for vc in retire:
+                vc.in_active = False
+                del self._active_vcs[vc]
+
+    def _alloc_output(self, vc: InputVC, network: "MeshNetwork",
+                      dest: int, absorb: bool) -> bool:
+        worm = vc.worm
+        ports, detour = network.routing.hop_candidates(
+            self.node, dest, vc.port, worm.misroutes, network.sim.now)
+        assert ports, "output allocation for a worm already at its target"
+        for port in ports:
+            key = (port, vc.vnet)
+            if self.out_owner[key] is None:
+                self.out_owner[key] = vc
+                self._owned += 1
+                vc.out_port = port
+                vc.absorb = absorb
+                vc.state = VCState.FORWARD
+                if detour:
+                    worm.misroutes += 1
+                    network.detours += 1
+                return True
+        return False
+
+    def phase_select(self, network: "MeshNetwork") -> None:
+        moves = network.pending_moves
+        out_owner = self.out_owner
+        num_vnets = self.num_vnets
+        for port in (MESH_PORTS if self._owned else ()):
+            start = self._rr[port]
+            for offset in range(num_vnets):
+                vnet = (start + offset) % num_vnets
+                vc = out_owner[(port, vnet)]
+                if vc is None or vc.state is not VCState.FORWARD:
+                    continue
+                if not vc.buffer:
+                    continue
+                neighbor, dst_vc = self.links[(port, vnet)]
+                if len(dst_vc.buffer) >= neighbor.vc_depth:
+                    continue  # no credit downstream
+                moves.append(("fwd", self, vc, port, neighbor, dst_vc))
+                self._rr[port] = (vnet + 1) % num_vnets
+                break
+        if self._sinks:
+            for vc in self._active_vcs:
+                state = vc.state
+                if state is VCState.CONSUME:
+                    if vc.buffer:
+                        moves.append(("consume", self, vc))
+                elif state is VCState.PARK and vc.buffer:
+                    moves.append(("park", self, vc))
+        for vnet in range(num_vnets):
+            if (self._inject_active[vnet] is None
+                    and not self.inject_queue[vnet]):
+                continue
+            local_vc = self.in_vcs[(Port.LOCAL, vnet)]
+            if len(local_vc.buffer) >= self.vc_depth:
+                continue
+            moves.append(("inject", self, vnet))
+
+    def apply_inject(self, vnet: int, network: "MeshNetwork") -> None:
+        active = self._inject_active[vnet]
+        if active is None:
+            worm = self.inject_queue[vnet].popleft()
+            active = (worm, 0)
+        worm, idx = active
+        local_vc = self.in_vcs[(Port.LOCAL, vnet)]
+        local_vc.buffer.append((worm, idx))
+        self.activate_vc(local_vc)
+        idx += 1
+        self._inject_active[vnet] = (worm, idx) if idx < worm.size_flits \
+            else None
+
+    def release_output(self, vc: InputVC) -> None:
+        assert vc.out_port is not None
+        self.out_owner[(vc.out_port, vc.vnet)] = None
+        self._owned -= 1
+
+
+class LegacyMeshNetwork(MeshNetwork):
+    """Mesh network driven by the pre-optimization step loop."""
+
+    ROUTER_CLS = LegacyRouter
+
+    def __init__(self, sim, params, routing: str = "ecube") -> None:
+        super().__init__(sim, params, routing)
+        # The pre-PR kernel computed candidate sets on every lookup.
+        self.routing.set_memoize(False)
+
+    def _start_clock(self) -> None:
+        """The original generator-based clock process."""
+        self.sim.spawn(self._clock(), name="network.clock")
+
+    def _clock(self):
+        from repro.sim import Timeout
+        tick = Timeout(1)
+        step = self.step
+        while True:
+            if not self.busy:
+                self._idle_event = self.sim.event("network.idle")
+                yield self._idle_event
+                self._idle_event = None
+                continue
+            step()
+            yield tick
+
+    def step(self) -> None:
+        """One network cycle, exactly as before the optimization pass:
+        re-sort the busy set every cycle and allocate fresh move lists."""
+        self.cycles_stepped += 1
+        order = sorted(self.busy)
+        self.busy_sorts += 1
+        routers = self.routers
+        for nid in order:
+            routers[nid].phase_decide(self)
+        self.pending_moves = []
+        for nid in order:
+            routers[nid].phase_select(self)
+        moved = bool(self.pending_moves)
+        for move in self.pending_moves:
+            self._apply(move)
+        self.moves_applied += len(self.pending_moves)
+        self.pending_moves = []
+        for nid in order:
+            if routers[nid].is_quiescent():
+                self.busy.discard(nid)
+        nrouters = len(order)
+        self.phase_decide_visits += nrouters
+        self.phase_select_visits += nrouters
+        if moved:
+            self._stalled_cycles = 0
+        elif self.busy and not self._any_routing(
+                [routers[n] for n in order]):
+            self._stalled_cycles += 1
+            if self._stalled_cycles >= self.deadlock_threshold:
+                self._report_deadlock()
+
+    def _diagnose_wait(self, router, vc):
+        from repro.network.worm import WormKind as WK
+        worm = vc.worm
+        node = router.node
+        iface = router.interface
+        if vc.state is VCState.FORWARD:
+            if not vc.buffer or vc.out_port is None:
+                return None
+            neighbor, dst_vc = router.links[(vc.out_port, vc.vnet)]
+            if len(dst_vc.buffer) < neighbor.vc_depth:
+                return None
+            return (f"buffer credit on the {vc.out_port.name} link into "
+                    f"node {neighbor.node}",
+                    [dst_vc] if dst_vc.worm is not None else [])
+        if vc.state is not VCState.DECIDE:
+            return None
+        if worm.next_dest == node:
+            kind = worm.kind
+            final = worm.at_last_leg
+            entries = iface.iack._entries
+            if (kind is WK.IGATHER and not final
+                    and not vc.ctx.get("picked")):
+                key = self.gather_key(worm, node)
+                if iface.iack.entry(key) is None and not iface.iack.free_slots:
+                    return (f"a free i-ack buffer slot at node {node} "
+                            f"(all {iface.iack.capacity} held: "
+                            f"{sorted(map(repr, entries))})", [])
+                return (f"the i-ack signal {key!r} at node {node} "
+                        f"(reserved but not yet deposited)", [])
+            if kind is WK.IRESERVE and not vc.ctx.get("reserved"):
+                return (f"a free i-ack buffer slot at node {node} "
+                        f"(all {iface.iack.capacity} held: "
+                        f"{sorted(map(repr, entries))})", [])
+            if kind is WK.CHAIN and not final:
+                if not vc.ctx.get("cc") and not iface.free_cc:
+                    return self._cc_wait(router, vc)
+                if vc.ctx.get("delivered"):
+                    return (f"the local invalidation of txn "
+                            f"{worm.txn!r} at node {node}", [])
+            needs_cc = final or worm.delivers_at(node)
+            if needs_cc and not vc.ctx.get("cc") and not iface.free_cc:
+                return self._cc_wait(router, vc)
+            if final:
+                return None  # draining starts next cycle
+            target = worm.dests[worm.ptr + 1]
+        else:
+            target = worm.next_dest
+        ports = self.routing.candidates(node, target)
+        holders = [router.out_owner[(p, vc.vnet)] for p in ports]
+        names = "/".join(p.name for p in ports)
+        return (f"an output channel {names} (vnet {vc.vnet}) at node "
+                f"{node} toward node {target}",
+                [h for h in holders if h is not None])
+
+    def _apply(self, move: tuple) -> None:
+        kind = move[0]
+        if kind == "fwd":
+            _, router, vc, port, neighbor, dst_vc = move
+            flit = vc.buffer.popleft()
+            worm, idx = flit
+            dst_vc.buffer.append(flit)
+            neighbor.activate_vc(dst_vc)
+            self.busy.add(neighbor.node)
+            worm.flit_hops += 1
+            self.total_flit_hops += 1
+            link = (router.node, port)
+            self.link_use[link] = self.link_use.get(link, 0) + 1
+            if idx == worm.size_flits - 1:  # tail left this router
+                if vc.absorb:
+                    router.interface.release_cc()
+                    if worm.kind is not WormKind.CHAIN:
+                        self._deliver(router.node, worm, final=False)
+                router.release_output(vc)
+                vc.reset_control()
+        elif kind == "consume":
+            _, router, vc = move
+            worm, idx = vc.buffer.popleft()
+            if idx == worm.size_flits - 1:
+                router.interface.release_cc()
+                router.release_sink(vc)
+                vc.reset_control()
+                self._deliver(router.node, worm, final=True)
+        elif kind == "park":
+            _, router, vc = move
+            worm, idx = vc.buffer.popleft()
+            if idx == worm.size_flits - 1:
+                router.release_sink(vc)
+                vc.reset_control()
+                key = self.gather_key(worm, router.node)
+                released = router.interface.iack.finish_park_drain(key)
+                if released is not None:
+                    self._reinject(router.node, released)
+        elif kind == "inject":
+            _, router, vnet = move
+            router.apply_inject(vnet, self)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown move {kind!r}")

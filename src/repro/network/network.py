@@ -12,6 +12,16 @@ process.  Each cycle has three phases over the *busy* routers only:
 The clock parks on an idle event whenever no router has work; injections
 and parked-worm releases wake it.  This keeps the cost of simulating an
 application proportional to the traffic, not to ``nodes x cycles``.
+
+Hot-path notes: the sorted busy-router order is cached and only rebuilt
+when the busy set actually changed (dirty flag maintained by
+:meth:`MeshNetwork._mark_busy` and the quiescence sweep); the
+``pending_moves`` list is reused across cycles; move tuples carry the
+interned integer tags from :mod:`repro.network.router`.  Per-phase visit
+counters (``phase_decide_visits``, ``phase_select_visits``,
+``moves_applied``, ``busy_sorts``) feed the ``--profile`` CLI flag and
+``benchmarks/harness.py``.  The pre-optimization kernel is preserved in
+:mod:`repro.network.legacy` for golden-output comparison.
 """
 
 from __future__ import annotations
@@ -20,11 +30,12 @@ from typing import Callable, Hashable
 
 from repro.config import SystemParameters
 from repro.network.interface import RouterInterface
-from repro.network.router import Router
+from repro.network.router import (MOVE_CONSUME, MOVE_FWD, MOVE_INJECT,
+                                  MOVE_PARK, Router, VCState)
 from repro.network.routing import make_routing
-from repro.network.topology import Mesh2D, Port
+from repro.network.topology import MESH_PORTS, Mesh2D, OPPOSITE, Port
 from repro.network.worm import Worm, WormKind
-from repro.sim import Simulator, Tally, Timeout
+from repro.sim import Simulator, Tally
 
 #: Delivery handler signature: ``handler(node, worm, final)`` where
 #: ``final`` is False for forward-and-absorb copies at intermediate
@@ -35,9 +46,19 @@ DeliveryHandler = Callable[[int, Worm, bool], None]
 #: :meth:`MeshNetwork.signal_chain_done` for the worm to move on.
 ChainHandler = Callable[[int, Worm], None]
 
+#: Profiling hook: when set to a list (the CLI ``--profile`` flag does
+#: this), every constructed network appends itself so per-phase cycle
+#: counters can be reported after a command finishes.  None = disabled,
+#: zero overhead beyond one comparison per network construction.
+PROFILE_REGISTRY: "list[MeshNetwork] | None" = None
+
 
 class MeshNetwork:
     """Cycle-level wormhole-routed 2-D mesh."""
+
+    #: Router class this network builds; the legacy reference kernel
+    #: overrides it.
+    ROUTER_CLS = Router
 
     def __init__(self, sim: Simulator, params: SystemParameters,
                  routing: str = "ecube") -> None:
@@ -49,16 +70,16 @@ class MeshNetwork:
             routing = routing + FT_SUFFIX
         self.routing = make_routing(routing, self.mesh,
                                     detour_limit=params.detour_limit)
+        router_cls = self.ROUTER_CLS
         self.routers: list[Router] = []
         for node in self.mesh.nodes():
             x, y = self.mesh.coords(node)
             interface = RouterInterface(params.consumption_channels,
                                         params.iack_buffers)
-            self.routers.append(Router(node, x, y, params.num_vnets,
-                                       params.vc_buffer_depth,
-                                       params.router_delay, interface))
+            self.routers.append(router_cls(node, x, y, params.num_vnets,
+                                           params.vc_buffer_depth,
+                                           params.router_delay, interface))
         # Wire up the per-channel downstream targets.
-        from repro.network.topology import MESH_PORTS, OPPOSITE
         for router in self.routers:
             for port in MESH_PORTS:
                 neighbor_id = self.mesh.neighbor(router.node, port)
@@ -66,8 +87,8 @@ class MeshNetwork:
                     continue
                 neighbor = self.routers[neighbor_id]
                 for vnet in range(params.num_vnets):
-                    router.links[(port, vnet)] = (
-                        neighbor, neighbor.in_vcs[(OPPOSITE[port], vnet)])
+                    router.set_link(port, vnet, neighbor,
+                                    neighbor.in_vcs[(OPPOSITE[port], vnet)])
         # Handlers (installed by the coherence layer; default: collect).
         self.delivered_log: list[tuple[int, int, Worm, bool]] = []
         self.on_deliver: DeliveryHandler = self._default_deliver
@@ -88,14 +109,28 @@ class MeshNetwork:
         self.total_flit_hops = 0
         self.injected = 0
         self.delivered = 0
-        self.link_use: dict[tuple[int, Port], int] = {}
+        # Pre-populated with every (node, port) key so the forwarding
+        # hot path is a bare ``+= 1`` instead of dict.get-and-store.
+        self.link_use: dict[tuple[int, Port], int] = {
+            (n, p): 0 for n in range(self.mesh.num_nodes)
+            for p in MESH_PORTS}
         self.latency: dict[WormKind, Tally] = {
             kind: Tally(f"latency.{kind.value}") for kind in WormKind}
         self.cycles_stepped = 0
+        #: Per-phase profiling counters: router visits per phase, moves
+        #: executed, and how often the busy order actually had to be
+        #: re-sorted (``busy_sorts / cycles_stepped`` is the dirty rate).
+        self.phase_decide_visits = 0
+        self.phase_select_visits = 0
+        self.moves_applied = 0
+        self.busy_sorts = 0
 
         # Step-loop state.
         self.pending_moves: list[tuple] = []
         self.busy: set[int] = set()
+        self._busy_order: list[int] = []
+        self._busy_routers: list[Router] = []
+        self._busy_dirty = False
         self._idle_event = None
         self._stalled_cycles = 0
         #: Consecutive cycles with zero flit movement and no routing in
@@ -105,7 +140,9 @@ class MeshNetwork:
         #: MI-MA transactions with a single i-ack buffer) stalls forever;
         #: raising beats silently spinning.
         self.deadlock_threshold = 100_000
-        sim.spawn(self._clock(), name="network.clock")
+        self._start_clock()
+        if PROFILE_REGISTRY is not None:
+            PROFILE_REGISTRY.append(self)
 
     # ------------------------------------------------------------------
     # Public API
@@ -148,9 +185,9 @@ class MeshNetwork:
                 self._drop(worm, *fate)
                 return
         worm.injected_at = self.sim.now
-        self.routers[worm.src].inject_queue[worm.vnet].append(worm)
+        self.routers[worm.src].enqueue_inject(worm)
         self.injected += 1
-        self.busy.add(worm.src)
+        self._mark_busy(worm.src)
         self._wake()
 
     def deposit_ack(self, node: int, key: Hashable, count: int = 1) -> None:
@@ -166,7 +203,7 @@ class MeshNetwork:
         """Tell a waiting chain worm that ``node`` finished its local
         invalidation for transaction ``txn``."""
         self.routers[node].interface.chain_done.add((txn, node))
-        self.busy.add(node)
+        self._mark_busy(node)
         self._wake()
 
     def purge_txn(self, txn: Hashable) -> int:
@@ -199,6 +236,22 @@ class MeshNetwork:
     def idle(self) -> bool:
         """True when no router has work pending."""
         return not self.busy
+
+    def phase_counters(self) -> dict:
+        """Per-phase profiling counters (the ``--profile`` CLI flag and
+        the perf harness report these)."""
+        cycles = self.cycles_stepped
+        return {
+            "cycles_stepped": cycles,
+            "phase_decide_visits": self.phase_decide_visits,
+            "phase_select_visits": self.phase_select_visits,
+            "moves_applied": self.moves_applied,
+            "busy_sorts": self.busy_sorts,
+            "busy_sort_rate": self.busy_sorts / cycles if cycles else 0.0,
+            "total_flit_hops": self.total_flit_hops,
+            "injected": self.injected,
+            "delivered": self.delivered,
+        }
 
     # ------------------------------------------------------------------
     # Internals
@@ -237,23 +290,47 @@ class MeshNetwork:
     def _reinject(self, node: int, worm: Worm) -> None:
         """Resume a parked worm from this router's local port (it bypasses
         the node's outgoing controller: the router interface re-injects)."""
-        self.routers[node].inject_queue[worm.vnet].appendleft(worm)
-        self.busy.add(node)
+        self.routers[node].enqueue_inject(worm, front=True)
+        self._mark_busy(node)
         self._wake()
+
+    def _mark_busy(self, node: int) -> None:
+        """Add ``node`` to the busy set, dirtying the cached step order
+        only on an actual transition."""
+        busy = self.busy
+        if node not in busy:
+            busy.add(node)
+            self._busy_dirty = True
 
     def _wake(self) -> None:
         if self._idle_event is not None and not self._idle_event.triggered:
             self._idle_event.succeed()
 
-    def _clock(self):
-        while True:
-            if not self.busy:
-                self._idle_event = self.sim.event("network.idle")
-                yield self._idle_event
-                self._idle_event = None
-                continue
-            self.step()
-            yield Timeout(1)
+    def _start_clock(self) -> None:
+        """Arm the cycle driver.  The optimized kernel self-reschedules
+        a plain callback — one heap entry per cycle, no generator resume
+        or yield-type dispatch (the legacy kernel overrides this with
+        the original generator-based clock process)."""
+        self.sim.call_at(self.sim.now, self._tick)
+
+    def _tick(self) -> None:
+        if not self.busy:
+            # Park off-calendar until traffic arrives, exactly like the
+            # generator clock's ``yield idle_event``.
+            event = self._idle_event = self.sim.event("network.idle")
+            event.add_callback(self._wake_tick)
+            return
+        self.step()
+        self.sim.call_after(1, self._tick)
+
+    def _wake_tick(self, _event) -> None:
+        # Resume on a fresh callback (mirroring Process._resume_later)
+        # so wake ordering matches other same-cycle callbacks.
+        self.sim.call_at(self.sim.now, self._resume_tick)
+
+    def _resume_tick(self) -> None:
+        self._idle_event = None
+        self._tick()
 
     # ------------------------------------------------------------------
     # One network cycle
@@ -261,32 +338,77 @@ class MeshNetwork:
     def step(self) -> None:
         """Advance every busy router by one cycle (three phases)."""
         self.cycles_stepped += 1
-        order = sorted(self.busy)
-        routers = self.routers
-        for nid in order:
-            routers[nid].phase_decide(self)
-        self.pending_moves = []
-        for nid in order:
-            routers[nid].phase_select(self)
-        moved = bool(self.pending_moves)
-        for move in self.pending_moves:
-            self._apply(move)
-        self.pending_moves = []
-        for nid in order:
-            if routers[nid].is_quiescent():
-                self.busy.discard(nid)
-        if moved:
+        if self._busy_dirty:
+            routers = self.routers
+            order = self._busy_order = sorted(self.busy)
+            self._busy_routers = [routers[n] for n in order]
+            self._busy_dirty = False
+            self.busy_sorts += 1
+        active = self._busy_routers
+        # Phase calls that would be no-ops are elided with attribute
+        # checks (cheaper than the call): phase_decide only walks
+        # _active_vcs; phase_select only looks at owned outputs, sinks,
+        # and injection work.
+        for router in active:
+            if router._active_vcs:
+                router.phase_decide(self)
+        moves = self.pending_moves
+        for router in active:
+            if router._owned or router._sinks or router._inject_work:
+                router.phase_select(self)
+        nmoves = len(moves)
+        busy = self.busy
+        if nmoves:
+            # MOVE_FWD dominates the move stream, so its apply body is
+            # inlined here; everything else goes through _apply.
+            apply_other = self._apply
+            link_use = self.link_use
+            for move in moves:
+                if move[0] != MOVE_FWD:
+                    apply_other(move)
+                    continue
+                _, router, vc, port, neighbor, dst_vc = move
+                flit = vc.buffer.popleft()
+                worm, idx = flit
+                dst_vc.buffer.append(flit)
+                if not dst_vc.in_active:
+                    dst_vc.in_active = True
+                    neighbor._active_vcs[dst_vc] = None
+                nnode = neighbor.node
+                if nnode not in busy:
+                    busy.add(nnode)
+                    self._busy_dirty = True
+                worm.flit_hops += 1
+                self.total_flit_hops += 1
+                link_use[router._link_keys[port]] += 1
+                if idx == worm.size_flits - 1:  # tail left this router
+                    if vc.absorb:
+                        router.interface.release_cc()
+                        if worm.kind is not WormKind.CHAIN:
+                            self._deliver(router.node, worm, final=False)
+                    router.release_output(vc)
+                    vc.reset_control()
+            moves.clear()
+            self.moves_applied += nmoves
+        for router in active:
+            if not router._active_vcs and not router._inject_work:
+                busy.discard(router.node)
+                self._busy_dirty = True
+        nrouters = len(active)
+        self.phase_decide_visits += nrouters
+        self.phase_select_visits += nrouters
+        if nmoves:
             self._stalled_cycles = 0
-        elif self.busy and not self._any_routing(order):
+        elif busy and not self._any_routing(active):
             self._stalled_cycles += 1
             if self._stalled_cycles >= self.deadlock_threshold:
                 self._report_deadlock()
 
-    def _any_routing(self, order) -> bool:
-        from repro.network.router import VCState
-        for nid in order:
-            for vc in self.routers[nid]._vc_list:
-                if vc.state is VCState.ROUTING:
+    def _any_routing(self, active) -> bool:
+        routing = VCState.ROUTING
+        for router in active:
+            for vc in router._active_vcs:
+                if vc.state is routing:
                     return True
         return False
 
@@ -296,15 +418,13 @@ class MeshNetwork:
         when the resource is not attributable to a VC, e.g. an i-ack
         signal that was never deposited).  Returns None for VCs that are
         not actually blocked (e.g. forwarding with credit available)."""
-        from repro.network.router import VCState
-        from repro.network.worm import WormKind
         worm = vc.worm
         node = router.node
         iface = router.interface
         if vc.state is VCState.FORWARD:
             if not vc.buffer or vc.out_port is None:
                 return None
-            neighbor, dst_vc = router.links[(vc.out_port, vc.vnet)]
+            neighbor, dst_vc = router.links[vc.out_port][vc.vnet]
             if len(dst_vc.buffer) < neighbor.vc_depth:
                 return None
             return (f"buffer credit on the {vc.out_port.name} link into "
@@ -344,7 +464,7 @@ class MeshNetwork:
         else:
             target = worm.next_dest
         ports = self.routing.candidates(node, target)
-        holders = [router.out_owner[(p, vc.vnet)] for p in ports]
+        holders = [router.out_owner[p][vc.vnet] for p in ports]
         names = "/".join(p.name for p in ports)
         return (f"an output channel {names} (vnet {vc.vnet}) at node "
                 f"{node} toward node {target}",
@@ -416,17 +536,24 @@ class MeshNetwork:
 
     def _apply(self, move: tuple) -> None:
         kind = move[0]
-        if kind == "fwd":
+        if kind == MOVE_FWD:
             _, router, vc, port, neighbor, dst_vc = move
             flit = vc.buffer.popleft()
             worm, idx = flit
             dst_vc.buffer.append(flit)
-            neighbor.activate_vc(dst_vc)
-            self.busy.add(neighbor.node)
+            if not dst_vc.in_active:
+                dst_vc.in_active = True
+                neighbor._active_vcs[dst_vc] = None
+            nnode = neighbor.node
+            busy = self.busy
+            if nnode not in busy:
+                busy.add(nnode)
+                self._busy_dirty = True
             worm.flit_hops += 1
             self.total_flit_hops += 1
-            link = (router.node, port)
-            self.link_use[link] = self.link_use.get(link, 0) + 1
+            link = router._link_keys[port]
+            link_use = self.link_use
+            link_use[link] = link_use.get(link, 0) + 1
             if idx == worm.size_flits - 1:  # tail left this router
                 if vc.absorb:
                     router.interface.release_cc()
@@ -436,7 +563,7 @@ class MeshNetwork:
                         self._deliver(router.node, worm, final=False)
                 router.release_output(vc)
                 vc.reset_control()
-        elif kind == "consume":
+        elif kind == MOVE_CONSUME:
             _, router, vc = move
             worm, idx = vc.buffer.popleft()
             if idx == worm.size_flits - 1:
@@ -444,7 +571,7 @@ class MeshNetwork:
                 router.release_sink(vc)
                 vc.reset_control()
                 self._deliver(router.node, worm, final=True)
-        elif kind == "park":
+        elif kind == MOVE_PARK:
             _, router, vc = move
             worm, idx = vc.buffer.popleft()
             if idx == worm.size_flits - 1:
@@ -454,7 +581,7 @@ class MeshNetwork:
                 released = router.interface.iack.finish_park_drain(key)
                 if released is not None:
                     self._reinject(router.node, released)
-        elif kind == "inject":
+        elif kind == MOVE_INJECT:
             _, router, vnet = move
             router.apply_inject(vnet, self)
         else:  # pragma: no cover - defensive

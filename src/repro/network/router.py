@@ -16,6 +16,14 @@ Worm kinds map onto interface behaviour as documented in
 :mod:`repro.network.worm`.  The router never moves a flit more than one
 hop per cycle because move *selection* (phase 2) is separated from move
 *application* (phase 3) by the network's step loop.
+
+Hot-path layout: :class:`~repro.network.topology.Port` is an ``IntEnum``
+(N=0, S=1, E=2, W=3, LOCAL=4), so the per-cycle structures — output-channel
+owners, round-robin pointers, downstream links, injection queues — are
+plain lists indexed ``[port][vnet]`` instead of tuple-keyed dicts.  Move
+tuples are tagged with the interned integer constants below instead of
+strings.  None of this changes arbitration order; the frozen pre-PR kernel
+in :mod:`repro.network.legacy` exists to prove it.
 """
 
 from __future__ import annotations
@@ -25,11 +33,25 @@ from enum import Enum
 from typing import Optional, TYPE_CHECKING
 
 from repro.network.interface import RouterInterface
-from repro.network.topology import MESH_PORTS, OPPOSITE, Port
+from repro.network.topology import MESH_PORTS, Port
 from repro.network.worm import Worm, WormKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.network import MeshNetwork
+
+#: Interned move-tuple tags (phase 2 → phase 3).  Integer compares in the
+#: apply loop beat string compares, and the tuple shapes stay uniform:
+#: ``(MOVE_FWD, router, vc, port, neighbor, dst_vc)``,
+#: ``(MOVE_CONSUME, router, vc)``, ``(MOVE_PARK, router, vc)``,
+#: ``(MOVE_INJECT, router, vnet)``.
+MOVE_FWD = 0
+MOVE_CONSUME = 1
+MOVE_PARK = 2
+MOVE_INJECT = 3
+
+#: Mesh port indices as exact ints (Port values coincide), so the hot
+#: arbitration loop hits CPython's specialized list-subscript path.
+_PORT_INDICES = tuple(range(len(MESH_PORTS)))
 
 
 class VCState(Enum):
@@ -41,6 +63,15 @@ class VCState(Enum):
     FORWARD = "forward"
     CONSUME = "consume"
     PARK = "park"
+
+
+#: VC states hoisted to module constants for the per-cycle state
+#: dispatch (skips an attribute load per comparison).
+_IDLE = VCState.IDLE
+_ROUTING = VCState.ROUTING
+_DECIDE = VCState.DECIDE
+_CONSUME = VCState.CONSUME
+_PARK = VCState.PARK
 
 
 class InputVC:
@@ -98,27 +129,45 @@ class Router:
             (p, v): InputVC(p, v) for p in ports for v in range(num_vnets)}
         #: Flat VC list, cached for the per-cycle scans.
         self._vc_list = list(self.in_vcs.values())
-        #: Which input VC currently owns each outgoing virtual channel.
-        self.out_owner: dict[tuple[Port, int], Optional[InputVC]] = {
-            (p, v): None for p in MESH_PORTS for v in range(num_vnets)}
+        #: The LOCAL-port VCs indexed by vnet (injection hot path).
+        self._local_vcs = [self.in_vcs[(Port.LOCAL, v)]
+                           for v in range(num_vnets)]
+        #: Which input VC currently owns each outgoing virtual channel,
+        #: ``out_owner[port][vnet]`` (ports index 0..3 via the IntEnum).
+        self.out_owner: list[list[Optional[InputVC]]] = [
+            [None] * num_vnets for _ in MESH_PORTS]
         #: Round-robin pointer per output port for switch arbitration.
-        self._rr: dict[Port, int] = {p: 0 for p in MESH_PORTS}
+        self._rr = [0] * len(MESH_PORTS)
         #: Per-vnet injection queues and the worm currently serializing in.
-        self.inject_queue: dict[int, deque[Worm]] = {
-            v: deque() for v in range(num_vnets)}
-        self._inject_active: dict[int, Optional[tuple[Worm, int]]] = {
-            v: None for v in range(num_vnets)}
-        #: Downstream (neighbor router, input VC) per mesh output channel;
-        #: filled by the network once all routers exist.
-        self.links: dict[tuple[Port, int], tuple["Router", InputVC]] = {}
+        self.inject_queue: list[deque[Worm]] = [
+            deque() for _ in range(num_vnets)]
+        self._inject_active: list[Optional[tuple[Worm, int]]] = \
+            [None] * num_vnets
+        #: Downstream ``(neighbor router, input VC)`` per mesh output
+        #: channel, ``links[port][vnet]``; filled via :meth:`set_link`
+        #: once all routers exist (None at mesh edges).
+        self.links: list[list[Optional[tuple["Router", InputVC]]]] = [
+            [None] * num_vnets for _ in MESH_PORTS]
+        #: Interned ``(node, port)`` link-statistics keys, one tuple per
+        #: output port for the lifetime of the router.
+        self._link_keys = tuple((node, p) for p in MESH_PORTS)
         #: VCs with work (non-empty buffer or non-IDLE state), in
         #: activation order — the per-cycle scans only touch these.
         self._active_vcs: dict[InputVC, None] = {}
         #: Outgoing virtual channels currently owned (phase_select skips
-        #: the port loop when zero).
+        #: the port loop when zero), plus a per-port breakdown so the
+        #: loop only visits ports that actually have an owner.
         self._owned = 0
+        self._owned_ports = [0] * len(MESH_PORTS)
         #: VCs draining into the interface (CONSUME/PARK).
         self._sinks = 0
+        #: Virtual networks with injection work (queue or active worm).
+        self._inject_work = 0
+
+    def set_link(self, port: Port, vnet: int, neighbor: "Router",
+                 dst_vc: InputVC) -> None:
+        """Wire the downstream target of one outgoing virtual channel."""
+        self.links[port][vnet] = (neighbor, dst_vc)
 
     def activate_vc(self, vc: InputVC) -> None:
         """Register a VC that just received work."""
@@ -126,17 +175,23 @@ class Router:
             vc.in_active = True
             self._active_vcs[vc] = None
 
+    def enqueue_inject(self, worm: Worm, front: bool = False) -> None:
+        """Queue ``worm`` for injection on its virtual network."""
+        vnet = worm.vnet
+        queue = self.inject_queue[vnet]
+        if not queue and self._inject_active[vnet] is None:
+            self._inject_work += 1
+        if front:
+            queue.appendleft(worm)
+        else:
+            queue.append(worm)
+
     # ------------------------------------------------------------------
     # Quiescence (for the network's busy-router set)
     # ------------------------------------------------------------------
     def is_quiescent(self) -> bool:
         """True when nothing here needs a cycle step."""
-        if self._active_vcs:
-            return False
-        for v in range(self.num_vnets):
-            if self.inject_queue[v] or self._inject_active[v] is not None:
-                return False
-        return True
+        return not self._active_vcs and not self._inject_work
 
     # ------------------------------------------------------------------
     # Phase 1: header routing countdowns and DECIDE resolution
@@ -145,31 +200,35 @@ class Router:
         """Phase 1: routing countdowns and DECIDE resolution over the
         active VCs (activation order = arbitration order)."""
         retire = None
-        for vc in list(self._active_vcs):
-            if vc.state is VCState.IDLE and not vc.buffer:
-                # Lazy cleanup: the VC went idle last apply phase.
-                if retire is None:
-                    retire = [vc]
-                else:
-                    retire.append(vc)
-                continue
-            if vc.state is VCState.IDLE and vc.buffer:
+        # Nothing in the DECIDE resolution path registers new VCs on this
+        # router (activations happen in phase 3), so iterating the dict
+        # directly is safe; retirement is deferred to after the loop.
+        for vc in self._active_vcs:
+            state = vc.state
+            if state is _IDLE:
+                if not vc.buffer:
+                    # Lazy cleanup: the VC went idle last apply phase.
+                    if retire is None:
+                        retire = [vc]
+                    else:
+                        retire.append(vc)
+                    continue
                 worm, idx = vc.buffer[0]
                 assert idx == 0, "non-header flit at head of idle VC"
                 vc.worm = worm
-                vc.state = VCState.ROUTING
+                vc.state = _ROUTING
                 # The DECIDE cycle itself accounts for one cycle of the
                 # routing delay, so count down from router_delay - 1.
                 vc.countdown = max(0, self.router_delay - 1)
                 if vc.countdown == 0:
-                    vc.state = VCState.DECIDE
+                    vc.state = _DECIDE
                     self._resolve(vc, network)
-            elif vc.state is VCState.ROUTING:
+            elif state is _ROUTING:
                 vc.countdown -= 1
                 if vc.countdown <= 0:
-                    vc.state = VCState.DECIDE
+                    vc.state = _DECIDE
                     self._resolve(vc, network)
-            elif vc.state is VCState.DECIDE:
+            elif state is _DECIDE:
                 self._resolve(vc, network)
         if retire is not None:
             for vc in retire:
@@ -296,11 +355,14 @@ class Router:
         ports, detour = network.routing.hop_candidates(
             self.node, dest, vc.port, worm.misroutes, network.sim.now)
         assert ports, "output allocation for a worm already at its target"
+        vnet = vc.vnet
+        out_owner = self.out_owner
         for port in ports:
-            key = (port, vc.vnet)
-            if self.out_owner[key] is None:
-                self.out_owner[key] = vc
+            owners = out_owner[port]
+            if owners[vnet] is None:
+                owners[vnet] = vc
                 self._owned += 1
+                self._owned_ports[port] += 1
                 vc.out_port = port
                 vc.absorb = absorb
                 vc.state = VCState.FORWARD
@@ -317,44 +379,60 @@ class Router:
         """Phase 2: pick at most one flit per output link, one per
         interface sink, and one injected flit per virtual network."""
         moves = network.pending_moves
+        num_vnets = self.num_vnets
         # Outbound links: one flit per output port per cycle, round-robin
         # across the virtual networks sharing the physical link.
-        out_owner = self.out_owner
-        num_vnets = self.num_vnets
-        for port in (MESH_PORTS if self._owned else ()):
-            start = self._rr[port]
-            for offset in range(num_vnets):
-                vnet = (start + offset) % num_vnets
-                vc = out_owner[(port, vnet)]
-                if vc is None or vc.state is not VCState.FORWARD:
+        if self._owned:
+            out_owner = self.out_owner
+            links = self.links
+            rr = self._rr
+            forward = VCState.FORWARD
+            owned_ports = self._owned_ports
+            # Plain-int port indices: CPython's adaptive list-subscript
+            # fast path requires exact ints, which the Port IntEnum is
+            # not; Port values and these indices coincide (0..3).
+            for port in _PORT_INDICES:
+                if not owned_ports[port]:
                     continue
-                if not vc.buffer:
-                    continue
-                neighbor, dst_vc = self.links[(port, vnet)]
-                if len(dst_vc.buffer) >= neighbor.vc_depth:
-                    continue  # no credit downstream
-                moves.append(("fwd", self, vc, port, neighbor, dst_vc))
-                self._rr[port] = (vnet + 1) % num_vnets
-                break
+                owners = out_owner[port]
+                start = rr[port]
+                for offset in range(num_vnets):
+                    vnet = start + offset
+                    if vnet >= num_vnets:
+                        vnet -= num_vnets
+                    vc = owners[vnet]
+                    if (vc is None or vc.state is not forward
+                            or not vc.buffer):
+                        continue
+                    neighbor, dst_vc = links[port][vnet]
+                    if len(dst_vc.buffer) >= neighbor.vc_depth:
+                        continue  # no credit downstream
+                    moves.append((MOVE_FWD, self, vc, port, neighbor,
+                                  dst_vc))
+                    vnet += 1
+                    rr[port] = vnet if vnet < num_vnets else 0
+                    break
         # Interface sinks: each CONSUME/PARK VC drains one flit per cycle
         # through its own consumption channel / buffer path.
         if self._sinks:
             for vc in self._active_vcs:
                 state = vc.state
-                if state is VCState.CONSUME:
+                if state is _CONSUME:
                     if vc.buffer:
-                        moves.append(("consume", self, vc))
-                elif state is VCState.PARK and vc.buffer:
-                    moves.append(("park", self, vc))
+                        moves.append((MOVE_CONSUME, self, vc))
+                elif state is _PARK and vc.buffer:
+                    moves.append((MOVE_PARK, self, vc))
         # Injection: one flit per cycle per virtual network.
-        for vnet in range(num_vnets):
-            if (self._inject_active[vnet] is None
-                    and not self.inject_queue[vnet]):
-                continue
-            local_vc = self.in_vcs[(Port.LOCAL, vnet)]
-            if len(local_vc.buffer) >= self.vc_depth:
-                continue
-            moves.append(("inject", self, vnet))
+        if self._inject_work:
+            inject_active = self._inject_active
+            inject_queue = self.inject_queue
+            vc_depth = self.vc_depth
+            for vnet in range(num_vnets):
+                if inject_active[vnet] is None and not inject_queue[vnet]:
+                    continue
+                if len(self._local_vcs[vnet].buffer) >= vc_depth:
+                    continue
+                moves.append((MOVE_INJECT, self, vnet))
 
     # ------------------------------------------------------------------
     # Phase 3 helpers (called by the network while applying moves)
@@ -367,17 +445,23 @@ class Router:
             worm = self.inject_queue[vnet].popleft()
             active = (worm, 0)
         worm, idx = active
-        local_vc = self.in_vcs[(Port.LOCAL, vnet)]
+        local_vc = self._local_vcs[vnet]
         local_vc.buffer.append((worm, idx))
         self.activate_vc(local_vc)
         idx += 1
-        self._inject_active[vnet] = (worm, idx) if idx < worm.size_flits else None
+        if idx < worm.size_flits:
+            self._inject_active[vnet] = (worm, idx)
+        else:
+            self._inject_active[vnet] = None
+            if not self.inject_queue[vnet]:
+                self._inject_work -= 1
 
     def release_output(self, vc: InputVC) -> None:
         """Free the outgoing VC a forwarding worm held (tail passed)."""
         assert vc.out_port is not None
-        self.out_owner[(vc.out_port, vc.vnet)] = None
+        self.out_owner[vc.out_port][vc.vnet] = None
         self._owned -= 1
+        self._owned_ports[vc.out_port] -= 1
 
     def release_sink(self, vc: InputVC) -> None:
         """Bookkeeping when a CONSUME/PARK VC finishes draining."""

@@ -43,10 +43,34 @@ class Routing:
 
     def __init__(self, mesh: Mesh2D) -> None:
         self.mesh = mesh
+        #: Memoized ``(ports, False)`` results of :meth:`hop_candidates`,
+        #: keyed ``current * num_nodes + dst``.  Base candidate sets are
+        #: pure functions of the topology, so the cache is valid until a
+        #: fault map attaches (see :meth:`invalidate_memo` and
+        #: :class:`FaultAwareRouting`) or memoization is switched off.
+        self._hop_memo: dict[int, tuple[list[Port], bool]] = {}
+        self._memo_enabled = True
+        self._num_nodes = mesh.num_nodes
+
+    def set_memoize(self, enabled: bool) -> None:
+        """Enable/disable candidate memoization (the cache is cleared
+        either way).  The legacy reference kernel disables it so its
+        timings reflect the pre-optimization per-lookup cost."""
+        self._memo_enabled = enabled
+        self._hop_memo.clear()
+
+    def invalidate_memo(self) -> None:
+        """Drop every cached candidate set.  Must be called whenever the
+        inputs of :meth:`candidates` change — today that is exactly one
+        event, a fault map attaching to a fault-aware wrapper."""
+        self._hop_memo.clear()
 
     def candidates(self, current: int, dst: int) -> list[Port]:
         """Permitted output ports at ``current`` for a worm headed to
         ``dst``, in preference order.  Empty list means ``current == dst``.
+
+        Callers must treat the returned list as immutable: the hot path
+        serves it from the memo cache.
         """
         raise NotImplementedError
 
@@ -57,8 +81,17 @@ class Routing:
 
         The router calls this (not :meth:`candidates`) at output
         allocation so fault-aware wrappers can filter per hop.  Base
-        schemes ignore the extra context and never detour.
+        schemes ignore the extra context and never detour, which makes
+        the result a pure function of ``(current, dst)`` — memoized here,
+        tuple and all, so the steady-state hot path is one dict probe.
         """
+        if self._memo_enabled:
+            key = current * self._num_nodes + dst
+            hit = self._hop_memo.get(key)
+            if hit is None:
+                hit = (self.candidates(current, dst), False)
+                self._hop_memo[key] = hit
+            return hit
         return self.candidates(current, dst), False
 
     def route_hops(self, src: int, dst: int,
@@ -250,8 +283,13 @@ class FaultAwareRouting(Routing):
         self.faults = None
 
     def attach_faults(self, faults) -> None:
-        """Arm the wrapper with the network's live fault state."""
+        """Arm the wrapper with the network's live fault state.
+
+        Arming changes what :meth:`hop_candidates` may return, so the
+        memoized candidate cache is invalidated here; while armed, the
+        fault-dependent path below bypasses the cache entirely."""
         self.faults = faults
+        self.invalidate_memo()
 
     @property
     def armed(self) -> bool:
@@ -304,9 +342,18 @@ class FaultAwareRouting(Routing):
                        in_port: Optional[Port] = None, misroutes: int = 0,
                        now: int = 0,
                        permanent_only: bool = False) -> tuple[list[Port], bool]:
-        base_ports = self.base.candidates(current, dst)
         if not self.armed:
-            return base_ports, False
+            # Pure delegate: reuse the memoized base-class fast path
+            # (``self.candidates`` forwards to the base scheme).
+            if self._memo_enabled:
+                key = current * self._num_nodes + dst
+                hit = self._hop_memo.get(key)
+                if hit is None:
+                    hit = (self.base.candidates(current, dst), False)
+                    self._hop_memo[key] = hit
+                return hit
+            return self.base.candidates(current, dst), False
+        base_ports = self.base.candidates(current, dst)
         # The reversal port: a worm that entered through ``in_port`` was
         # travelling OPPOSITE[in_port], so leaving through ``in_port``
         # itself is the 180-degree turn.  LOCAL means injection here.

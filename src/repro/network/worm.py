@@ -47,7 +47,7 @@ VNET_REPLY = 1
 _uid_counter = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Worm:
     """One wormhole message in flight.
 

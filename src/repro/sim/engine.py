@@ -87,14 +87,24 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Fires as soon as any child event fires; value is that child's value."""
+    """Fires as soon as any child event fires; value is that child's value.
+
+    An empty child set is rejected with :class:`SimulationError`: unlike
+    :class:`AllOf` (vacuously satisfied, fires on the next delta), an
+    any-of over nothing can never fire, and silently constructing one
+    turns into a misleading "calendar empty" deadlock at the wait site.
+    """
 
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event],
                  name: str = "any_of") -> None:
         super().__init__(sim, name)
-        for child in events:
+        children = list(events)
+        if not children:
+            raise SimulationError(
+                f"AnyOf {name!r} over an empty event set can never fire")
+        for child in children:
             child.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
@@ -141,8 +151,15 @@ class Timer:
         return not self.cancelled and not self.fired
 
     def cancel(self) -> None:
-        """Disarm; idempotent, and a no-op after firing."""
+        """Disarm; idempotent, and a no-op after firing.
+
+        Drops the callback reference immediately: the stale calendar
+        entry may sit in the heap for a long time (watchdogs are armed
+        thousands of cycles out), and holding ``_fn`` would keep the
+        transaction/worm graph it closes over alive for just as long.
+        """
         self.cancelled = True
+        self._fn = None
 
     def _fire(self) -> None:
         if self.cancelled:
@@ -236,16 +253,24 @@ class Simulator:
         optional cycle ``limit`` passes) first — that means deadlock or a
         lost wakeup in the model, which should never be silent.
         """
+        # The dispatch loop is inlined (rather than calling
+        # ``self.run(max_events=1)`` per callback) — this is the hot loop
+        # of every experiment run.  Semantics are identical: one pop, one
+        # dispatch, limit checked against the next callback's cycle.
+        heap = self._heap
+        heappop = heapq.heappop
         while not event.triggered:
-            if not self._heap:
+            if not heap:
                 raise SimulationError(
                     f"event {event.name!r} never fired: calendar empty at "
                     f"cycle {self.now} (model deadlock?)")
-            when = self._heap[0][0]
-            if limit is not None and when > limit:
+            if limit is not None and heap[0][0] > limit:
                 raise SimulationError(
                     f"event {event.name!r} not fired by cycle limit {limit}")
-            self.run(max_events=1)
+            when, _seq, fn = heappop(heap)
+            self.now = when
+            self.dispatched += 1
+            fn()
         return event.value
 
     def peek(self) -> Optional[int]:

@@ -27,7 +27,7 @@ class Process:
     generator's ``return`` value becomes :attr:`result`.
     """
 
-    __slots__ = ("sim", "name", "generator", "done", "result", "_started")
+    __slots__ = ("sim", "name", "generator", "done", "result", "_advance")
 
     def __init__(self, sim: Simulator, generator: Generator,
                  name: str = "process") -> None:
@@ -41,9 +41,13 @@ class Process:
         #: Event fired (with the return value) when the body finishes.
         self.done: Event = sim.event(f"{name}.done")
         self.result: Any = None
+        #: Prebound resume-with-None callback: clock-style processes
+        #: yield a Timeout every cycle, so the advance closure is hoisted
+        #: out of the per-yield path instead of allocated each time.
+        advance = self._advance = lambda: self._step(None)
         # First step runs at the current cycle but after the caller's
         # current callback completes, preserving causal ordering.
-        sim.call_at(sim.now, lambda: self._step(None))
+        sim.call_at(sim.now, advance)
 
     @property
     def alive(self) -> bool:
@@ -62,14 +66,14 @@ class Process:
 
     def _handle(self, yielded: Any) -> None:
         if isinstance(yielded, Timeout):
-            self.sim.call_after(yielded.delay, lambda: self._step(None))
+            self.sim.call_after(yielded.delay, self._advance)
         elif isinstance(yielded, (int, float)):
             delay = int(yielded)
             if delay < 0:
                 self._crash(SimulationError(
                     f"process {self.name!r} yielded negative delay {yielded}"))
                 return
-            self.sim.call_after(delay, lambda: self._step(None))
+            self.sim.call_after(delay, self._advance)
         elif isinstance(yielded, Process):
             yielded.done.add_callback(
                 lambda ev: self._resume_later(ev.value))

@@ -98,6 +98,9 @@ class Facility:
         self.busy_cycles = 0
         #: Per-use service-time tally.
         self.service_stats = Tally(f"{name}.service")
+        #: Construction cycle — utilization is measured from here, not
+        #: from t=0, so facilities created mid-run report correctly.
+        self._t0 = sim.now
 
     def use(self, duration: int) -> Generator:
         """Generator to delegate to: acquire, hold ``duration``, release."""
@@ -129,6 +132,7 @@ class Facility:
         return self._resource.wait_stats
 
     def utilization(self, elapsed: Optional[int] = None) -> float:
-        """Busy fraction over ``elapsed`` cycles (default: clock so far)."""
-        horizon = self.sim.now if elapsed is None else elapsed
+        """Busy fraction over ``elapsed`` cycles (default: cycles since
+        this facility was constructed, like ``TimeWeighted``)."""
+        horizon = self.sim.now - self._t0 if elapsed is None else elapsed
         return self.busy_cycles / horizon if horizon > 0 else 0.0

@@ -153,7 +153,15 @@ class Histogram:
         return self.tally.n
 
     def percentile(self, q: float) -> float:
-        """Approximate q-quantile (0..1) from bin midpoints."""
+        """Approximate q-quantile (0..1) from bin midpoints.
+
+        Empty bins are skipped, so ``q = 0`` reports the lowest bucket
+        that actually holds samples rather than the midpoint of an empty
+        bin 0 (the ``seen >= target`` test is vacuously true at target
+        0).  Overflow samples take part in the walk: a quantile landing
+        in the overflow bucket reports the recorded maximum instead of
+        silently clamping to the top bin edge.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self.n == 0:
@@ -163,9 +171,13 @@ class Histogram:
         if seen >= target and self.underflow:
             return self.low
         for i, count in enumerate(self.bins):
+            if not count:
+                continue
             seen += count
             if seen >= target:
                 return self.low + (i + 0.5) * self.width
+        if self.overflow:
+            return self.tally.max
         return self.low + len(self.bins) * self.width
 
 

@@ -1,0 +1,107 @@
+"""Golden-output proof that the optimized kernel is bit-identical.
+
+The fast kernel (cached busy order, list layouts, memoized routing,
+interned move tuples, callback clock) must produce *exactly* the same
+simulation as the frozen pre-optimization reference in
+:mod:`repro.network.legacy` — the full :class:`TransactionRecord`
+stream, the flit-hop totals, and even the simulator's dispatched-
+callback count.  Any divergence here means an optimization changed
+semantics, not just speed.
+"""
+
+import dataclasses
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.config import SystemParameters, paper_parameters
+from repro.core import InvalidationEngine, build_plan
+from repro.network import MeshNetwork, make_network
+from repro.network.legacy import LegacyMeshNetwork, LegacyRouter
+from repro.sim import Simulator
+from repro.workloads.patterns import make_pattern
+
+
+def run_record_stream(kernel, schemes=("mi-ma-ec", "ui-ua", "mi-ua-tm"),
+                      degrees=(2, 8, 16), per_degree=3, seed=3):
+    """Full TransactionRecord stream for a mid-size paired workload."""
+    params = paper_parameters(8, kernel=kernel)
+    sim = Simulator()
+    net = make_network(sim, params, "ecube")
+    engine = InvalidationEngine(sim, net, params)
+    rng = np.random.default_rng(seed)
+    records = []
+    for degree in degrees:
+        for _ in range(per_degree):
+            pat = make_pattern("uniform", net.mesh, degree, rng)
+            for scheme in schemes:
+                plan = build_plan(scheme, net.mesh, pat.home, pat.sharers)
+                records.append(dataclasses.astuple(
+                    engine.run(plan, limit=5_000_000)))
+    return records, net.total_flit_hops, sim.dispatched
+
+
+def digest(records):
+    return hashlib.sha256(repr(records).encode()).hexdigest()
+
+
+def test_record_streams_bit_identical_across_kernels():
+    fast_records, fast_hops, fast_dispatched = run_record_stream("fast")
+    legacy_records, legacy_hops, legacy_dispatched = \
+        run_record_stream("legacy")
+    # Field-for-field equality of every TransactionRecord, in order.
+    assert fast_records == legacy_records
+    assert digest(fast_records) == digest(legacy_records)
+    assert fast_hops == legacy_hops
+    # Even the event-calendar activity matches callback for callback.
+    assert fast_dispatched == legacy_dispatched
+    assert fast_records, "workload produced no transactions"
+
+
+def test_kernels_identical_under_adaptive_routing():
+    fast = run_record_stream("fast", schemes=("mi-ma-ec-u",),
+                             degrees=(4, 12), seed=9)
+    legacy = run_record_stream("legacy", schemes=("mi-ma-ec-u",),
+                               degrees=(4, 12), seed=9)
+    assert fast == legacy
+
+
+def test_make_network_selects_kernel():
+    sim = Simulator()
+    fast = make_network(sim, SystemParameters(), "ecube")
+    assert type(fast) is MeshNetwork
+    legacy = make_network(Simulator(),
+                          SystemParameters(kernel="legacy"), "ecube")
+    assert type(legacy) is LegacyMeshNetwork
+    assert all(type(r) is LegacyRouter for r in legacy.routers)
+    # The reference kernel computes routing candidates per lookup.
+    assert legacy.routing._memo_enabled is False
+    assert fast.routing._memo_enabled is True
+
+
+def test_kernel_knob_is_validated():
+    with pytest.raises(ValueError, match="kernel"):
+        SystemParameters(kernel="turbo")
+
+
+def test_phase_counters_shapes_match():
+    """Both kernels expose the same profiling counters; the fast kernel
+    re-sorts the busy order strictly less often."""
+    results = {}
+    for kernel in ("fast", "legacy"):
+        params = paper_parameters(8, kernel=kernel)
+        sim = Simulator()
+        net = make_network(sim, params, "ecube")
+        engine = InvalidationEngine(sim, net, params)
+        plan = build_plan("mi-ma-ec", net.mesh, 0, [9, 18, 27, 36])
+        engine.run(plan, limit=5_000_000)
+        results[kernel] = net.phase_counters()
+    fast, legacy = results["fast"], results["legacy"]
+    assert set(fast) == set(legacy)
+    assert fast["cycles_stepped"] == legacy["cycles_stepped"]
+    assert fast["moves_applied"] == legacy["moves_applied"]
+    assert fast["total_flit_hops"] == legacy["total_flit_hops"]
+    # Legacy sorts every cycle; the dirty flag sorts only on changes.
+    assert legacy["busy_sorts"] == legacy["cycles_stepped"]
+    assert fast["busy_sorts"] < legacy["busy_sorts"]

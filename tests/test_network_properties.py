@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.config import SystemParameters
 from repro.network import MeshNetwork, Worm, WormKind, available_routings
 from repro.network.router import VCState
-from repro.network.worm import VNET_REPLY, VNET_REQUEST
+from repro.network.worm import VNET_REQUEST
 from repro.sim import Simulator
 
 
@@ -52,8 +52,8 @@ def test_unicast_storm_all_delivered_flits_conserved(routing, messages):
     for r in net.routers:
         assert r.is_quiescent()
         assert r.interface.free_cc == r.interface.total_cc
-        for owner in r.out_owner.values():
-            assert owner is None
+        for owners in r.out_owner:
+            assert all(owner is None for owner in owners)
         for vc in r._vc_list:
             assert vc.state is VCState.IDLE and not vc.buffer
 

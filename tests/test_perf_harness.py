@@ -1,0 +1,92 @@
+"""The performance harness and the --profile CLI hook, smoke-tested
+in-process (no subprocesses, smallest workload scale)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location(
+        "perf_harness", REPO_ROOT / "benchmarks" / "harness.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_run_workload_checks_kernel_class(harness):
+    result = harness.run_workload("fig_column_traffic", "smoke", "fast")
+    assert result["cycles"] > 0
+    assert result["dispatched"] > 0
+    assert result["networks"] >= 1
+    assert set(result["counters"]) >= {
+        "cycles_stepped", "moves_applied", "busy_sorts",
+        "total_flit_hops"}
+
+
+def test_bench_one_kernels_bit_identical(harness):
+    entry = harness.bench_one("fig_column_traffic", "smoke")
+    assert entry["deterministic_match"] is True
+    assert entry["fast"]["digest"] == entry["legacy"]["digest"]
+    assert entry["fast"]["cycles"] == entry["legacy"]["cycles"]
+    assert entry["fast"]["dispatched"] == entry["legacy"]["dispatched"]
+    assert entry["speedup"] is not None
+
+
+def test_main_smoke_writes_schema(harness, tmp_path, capsys):
+    out = tmp_path / "BENCH_perf.json"
+    rc = harness.main(["--smoke", "--jobs", "1", "--out", str(out),
+                       "--workloads", "fig_column_traffic"])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert payload["scale"] == "smoke"
+    assert payload["all_deterministic"] is True
+    wl = payload["workloads"]["fig_column_traffic"]
+    for kernel in ("fast", "legacy"):
+        run = wl[kernel]
+        assert run["wall_s"] >= 0
+        assert run["cycles"] > 0 and run["cycles_per_s"] > 0
+        assert run["dispatched"] > 0 and run["dispatched_per_s"] > 0
+        assert len(run["digest"]) == 64
+    assert wl["deterministic_match"] is True
+    captured = capsys.readouterr()
+    assert "bit-identical" in captured.out
+
+
+def test_main_rejects_unknown_workload(harness, tmp_path):
+    with pytest.raises(SystemExit):
+        harness.main(["--workloads", "no_such_figure",
+                      "--out", str(tmp_path / "x.json")])
+
+
+def test_committed_bench_perf_json_is_fresh():
+    """The repo-root BENCH_perf.json artifact must match the current
+    harness schema and record the acceptance speedup."""
+    path = REPO_ROOT / "BENCH_perf.json"
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == 1
+    assert payload["representative"] in payload["workloads"]
+    assert payload["all_deterministic"] is True
+    if payload["scale"] == "ci":  # the committed artifact's scale
+        assert payload["representative_speedup"] >= 1.5
+
+
+def test_cli_profile_flag_prints_counters(capsys):
+    from repro.cli import main
+    from repro.network import network as network_mod
+
+    rc = main(["--profile", "sweep", "--schemes", "ui-ua",
+               "--degrees", "2", "--per-degree", "1", "--mesh", "4"])
+    assert rc == 0
+    assert network_mod.PROFILE_REGISTRY is None  # reset afterwards
+    captured = capsys.readouterr()
+    assert "cProfile: top 20 by total time" in captured.err
+    assert "per-phase counters" in captured.err
+    assert "busy_sort_rate" in captured.err
+    assert "cycles_stepped" in captured.err

@@ -140,3 +140,63 @@ def test_dispatched_counts_callbacks():
         sim.call_after(1, lambda: None)
     sim.run()
     assert sim.dispatched == 5
+
+
+def test_any_of_empty_raises():
+    """An AnyOf over nothing can never fire; constructing one must be a
+    loud error, not a silent never-firing event (regression: it used to
+    build fine and later surface as a bogus calendar-empty deadlock)."""
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="empty event set"):
+        AnyOf(sim, [], name="doomed")
+    with pytest.raises(SimulationError, match="empty event set"):
+        AnyOf(sim, iter(()))
+
+
+def test_any_of_nonempty_unaffected():
+    sim = Simulator()
+    children = [sim.event(f"c{i}") for i in range(2)]
+    combined = AnyOf(sim, iter(children))  # generators work too
+    children[1].succeed("val")
+    assert combined.triggered and combined.value == "val"
+
+
+def test_timer_cancel_drops_callback_reference():
+    """Regression: a cancelled Timer kept its callback closure alive for
+    as long as the stale heap entry, pinning whatever the watchdog
+    closed over.  cancel() must drop the reference immediately."""
+    import gc
+    import weakref
+
+    class Payload:
+        pass
+
+    sim = Simulator()
+
+    def arm():
+        # Closure cell owned only by the timer callback once we return.
+        payload = Payload()
+        return sim.timer(10_000, lambda: payload), weakref.ref(payload)
+
+    timer, ref = arm()
+    gc.collect()
+    assert ref() is not None  # armed: closure legitimately held
+    timer.cancel()
+    gc.collect()
+    assert ref() is None, "cancelled timer retained its callback closure"
+    # The stale calendar entry is still a harmless no-op dispatch.
+    sim.run()
+    assert sim.now == 10_000
+
+
+def test_timer_cancel_is_idempotent_and_fire_still_works():
+    sim = Simulator()
+    fired = []
+    t1 = sim.timer(5, lambda: fired.append("t1"))
+    t2 = sim.timer(5, lambda: fired.append("t2"))
+    t2.cancel()
+    t2.cancel()  # idempotent
+    sim.run()
+    assert fired == ["t1"]
+    assert t1.fired and not t1.active
+    assert t2.cancelled and not t2.fired

@@ -140,3 +140,27 @@ def test_facility_queue_and_wait_stats():
     sim.spawn(client())
     sim.run()
     assert fac.wait_stats.max == 10
+
+
+def test_facility_created_mid_run_measures_from_construction():
+    """Regression: utilization divided by the full clock, so a facility
+    constructed at t>0 under-reported even when 100% busy."""
+    sim = Simulator()
+    sim.call_at(100, lambda: None)
+    sim.run()
+    assert sim.now == 100
+    fac = Facility(sim, "late")
+
+    def worker():
+        yield from fac.use(30)
+
+    sim.spawn(worker())
+    sim.run()
+    assert sim.now == 130
+    assert fac.utilization() == pytest.approx(1.0)
+    # Explicit horizon still wins when supplied.
+    assert fac.utilization(elapsed=60) == pytest.approx(0.5)
+    # And idle time after construction dilutes it as expected.
+    sim.call_at(160, lambda: None)
+    sim.run()
+    assert fac.utilization() == pytest.approx(30 / 60)

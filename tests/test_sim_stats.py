@@ -112,3 +112,42 @@ def test_summarize():
     assert s["n"] == 3
     assert s["mean"] == pytest.approx(2.0)
     assert s["stdev"] == pytest.approx(math.sqrt(2.0 / 3.0))
+
+
+def test_percentile_skips_empty_leading_bins():
+    """Regression: q=0 used to report the midpoint of empty bin 0
+    because ``seen >= target`` is vacuously true at target 0."""
+    h = Histogram("lat", low=0, high=100, nbins=10)
+    for _ in range(5):
+        h.add(75)  # only bin 7 is populated
+    assert h.percentile(0.0) == pytest.approx(75.0)
+    assert h.percentile(0.5) == pytest.approx(75.0)
+    assert h.percentile(1.0) == pytest.approx(75.0)
+
+
+def test_percentile_overflow_reports_recorded_max():
+    """Regression: quantiles landing in the overflow bucket silently
+    clamped to the top bin edge instead of the recorded maximum."""
+    h = Histogram("lat", low=0, high=10, nbins=10)
+    h.add(5)
+    for v in (50, 60, 700):
+        h.add(v)  # overflow
+    assert h.overflow == 3
+    assert h.percentile(1.0) == pytest.approx(700)
+    # The in-range quantile still comes from the bins.
+    assert h.percentile(0.25) == pytest.approx(5.5)
+
+
+def test_percentile_all_overflow():
+    h = Histogram("lat", low=0, high=1, nbins=4)
+    for v in (10, 20, 30):
+        h.add(v)
+    for q in (0.0, 0.5, 1.0):
+        assert h.percentile(q) == pytest.approx(30)
+
+
+def test_percentile_underflow_and_empty():
+    h = Histogram("lat", low=10, high=20, nbins=5)
+    assert h.percentile(0.5) == 0.0  # no samples at all
+    h.add(3)  # underflow only
+    assert h.percentile(0.5) == pytest.approx(10)  # clamps to low edge
