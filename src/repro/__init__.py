@@ -31,11 +31,13 @@ Quick start::
     record = engine.run(plan)
 """
 
-from repro.config import DEFAULT_PARAMETERS, SystemParameters, paper_parameters
+from repro.config import (ConfigError, DEFAULT_PARAMETERS, SystemParameters,
+                          paper_parameters)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ConfigError",
     "DEFAULT_PARAMETERS",
     "SystemParameters",
     "paper_parameters",

@@ -1,0 +1,495 @@
+"""The runtime invariant auditor.
+
+One :class:`Auditor` instance observes one simulation run through
+synchronous hooks in the cache controllers, the directory entries, the
+invalidation engine, and (via counters) the network.  It never creates
+simulation events, never yields, and never mutates protocol state — an
+audited run is bit-identical to an unaudited one in every statistic,
+including the simulator's dispatched-callback count.
+
+Audit levels:
+
+* ``off``   — no auditor is constructed; every hook site is a single
+  ``is None`` test (≈zero overhead, bit-identical output);
+* ``cheap`` — protocol-event trail + per-transaction conservation checks
+  at transaction completion + the final quiescence sweep;
+* ``full``  — ``cheap`` plus per-event global checks: SWMR scans on
+  every exclusive grant and modified-line install, directory/cache
+  agreement on every install, and WAITING-state discipline on every
+  directory transition.
+
+Invariant catalog (executable forms; paper-section citations in
+``docs/AUDIT.md``):
+
+``swmr``
+    at most one EXCLUSIVE owner per block, never concurrent with shared
+    copies elsewhere (Sec. 2.2 directory states);
+``dir-agreement``
+    presence bits ⇔ actual cached lines: every cached copy is covered by
+    a presence bit (or the Dir_i B overflow bit), EXCLUSIVE entries name
+    a valid owner (Sec. 2.2 presence-bit pointer array);
+``txn-conservation``
+    invalidations delivered cover every sharer; on a perfect network
+    each sharer is invalidated exactly once and acks received equal
+    sharers invalidated (Sec. 4 ack counting under UI-UA/MI-UA/MI-MA);
+``waiting-discipline``
+    directory entries transition out of WAITING only (transactions
+    bracket every multi-step operation), the deferred-request queue is
+    bounded and drained, ``saved_state``/``in_service`` bookkeeping is
+    consistent (Sec. 2.2 *waiting* state);
+``worm-conservation``
+    every worm offered to the mesh is finally consumed, dropped by a
+    declared fault, or swallowed by a purged transaction's blackhole;
+    no i-ack buffer entry leaks (Sec. 4/5 worm lifecycles).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.audit.trail import EventTrail, TrailEvent
+from repro.audit.violations import InvariantViolation, resolve_level
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.coherence.system import DSMSystem
+    from repro.core.engine import InvalidationEngine
+
+#: A custom checker: ``fn(auditor, event) -> None | str`` — a returned
+#: string is reported as a violation of invariant ``custom:<fn name>``.
+Checker = Callable[["Auditor", TrailEvent], Optional[str]]
+
+#: Deferred-queue occupancy bound per directory entry: every node may
+#: have one outstanding access plus one crossing writeback in flight.
+_QUEUE_SLACK = 8
+
+
+class _TxnAudit:
+    """Per-transaction conservation ledger."""
+
+    __slots__ = ("sharers", "inval_counts", "acks", "losses", "sent")
+
+    def __init__(self, sharers) -> None:
+        self.sharers = frozenset(sharers)
+        self.inval_counts: dict[int, int] = {}
+        self.acks = 0
+        self.losses = 0
+        self.sent = 0
+
+
+class Auditor:
+    """Pluggable invariant layer for one engine or DSM run."""
+
+    def __init__(self, level: str, *, sim, net,
+                 engine: Optional["InvalidationEngine"] = None,
+                 system: Optional["DSMSystem"] = None,
+                 trail_limit: int = 4096) -> None:
+        level = resolve_level(level)
+        if level == "off":
+            raise ValueError("construct no Auditor for level 'off'")
+        self.level = level
+        self.full = level == "full"
+        self.sim = sim
+        self.net = net
+        self.engine = engine
+        self.system = system
+        self.trail = EventTrail(trail_limit)
+        #: Violations found (each is also raised at detection time).
+        self.violations: list[InvariantViolation] = []
+        #: Custom checkers run on every recorded event (toy/extension
+        #: point; see ``examples/chaos_replay.py``).
+        self.checkers: list[Checker] = []
+        self._txns: dict[Any, _TxnAudit] = {}
+        #: Transactions audited to completion.
+        self.txns_checked = 0
+        #: Final quiescence sweeps performed.
+        self.final_checks = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def install(cls, system: "DSMSystem", level: str,
+                trail_limit: int = 4096) -> Optional["Auditor"]:
+        """Attach a full-system auditor (caches, directories, engine,
+        network) to ``system``; returns None when the resolved level is
+        ``off``."""
+        level = resolve_level(level)
+        if level == "off":
+            return None
+        auditor = cls(level, sim=system.sim, net=system.net,
+                      engine=system.engine, system=system,
+                      trail_limit=trail_limit)
+        for cache in system.caches:
+            cache.audit = auditor
+        for directory in system.dirs:
+            directory.audit = auditor
+            for block in directory.known_blocks():
+                directory.entry(block).audit = auditor
+        system.engine.audit = auditor
+        return auditor
+
+    @classmethod
+    def install_engine(cls, engine: "InvalidationEngine", level: str,
+                       trail_limit: int = 4096) -> Optional["Auditor"]:
+        """Attach an engine-only auditor (no caches/directories: checks
+        transaction conservation and worm conservation)."""
+        level = resolve_level(level)
+        if level == "off":
+            return None
+        auditor = cls(level, sim=engine.sim, net=engine.net,
+                      engine=engine, trail_limit=trail_limit)
+        engine.audit = auditor
+        return auditor
+
+    def add_checker(self, fn: Checker) -> None:
+        """Register a custom checker run on every recorded event."""
+        self.checkers.append(fn)
+
+    # ------------------------------------------------------------------
+    # Violation plumbing
+    # ------------------------------------------------------------------
+    def _violate(self, invariant: str, message: str, *,
+                 node: Optional[int] = None, block: Optional[int] = None,
+                 txn: Any = None) -> None:
+        exc = InvariantViolation(
+            invariant, message, cycle=self.sim.now, node=node, block=block,
+            txn=txn, trail=self.trail.tail(40, block=block, txn=txn))
+        self.violations.append(exc)
+        raise exc
+
+    def _record(self, kind: str, node: Optional[int] = None,
+                block: Optional[int] = None, txn: Any = None,
+                detail: str = "") -> None:
+        self.trail.record(self.sim.now, kind, node, block, txn, detail)
+        if self.checkers:
+            event = TrailEvent(self.sim.now, kind, node, block, txn, detail)
+            for fn in self.checkers:
+                verdict = fn(self, event)
+                if verdict is not None:
+                    name = getattr(fn, "__name__", "checker")
+                    self._violate(f"custom:{name}", verdict, node=node,
+                                  block=block, txn=txn)
+
+    # ------------------------------------------------------------------
+    # Cache hooks (installed on every Cache when system-attached)
+    # ------------------------------------------------------------------
+    def on_cache_install(self, cache, block: int, state, victim) -> None:
+        self._record("cache.install", cache.node, block,
+                     detail=f"state={state.value}"
+                            + (f" victim={victim[0]}" if victim else ""))
+        if not self.full or self.system is None:
+            return
+        from repro.coherence.cache import CacheState
+        from repro.coherence.directory import DirectoryState
+        system = self.system
+        entry = system.dirs[system.home_of(block)].entry(block)
+        if state is CacheState.MODIFIED:
+            for other in system.caches:
+                if other is not cache and block in other:
+                    self._violate(
+                        "swmr",
+                        f"node {cache.node} installed MODIFIED block "
+                        f"{block} while node {other.node} still holds it "
+                        f"{other.state(block).value}",
+                        node=cache.node, block=block)
+            if entry.state not in (DirectoryState.EXCLUSIVE,
+                                   DirectoryState.WAITING):
+                self._violate(
+                    "dir-agreement",
+                    f"node {cache.node} installed MODIFIED block {block} "
+                    f"but its directory entry is {entry.state.value}",
+                    node=cache.node, block=block)
+            if (entry.state is DirectoryState.EXCLUSIVE
+                    and entry.owner != cache.node):
+                self._violate(
+                    "dir-agreement",
+                    f"node {cache.node} installed MODIFIED block {block} "
+                    f"but the directory owner is {entry.owner}",
+                    node=cache.node, block=block)
+        else:  # SHARED install
+            for other in system.caches:
+                if (other is not cache
+                        and other.state(block) is CacheState.MODIFIED):
+                    self._violate(
+                        "swmr",
+                        f"node {cache.node} installed SHARED block {block} "
+                        f"while node {other.node} holds it MODIFIED",
+                        node=cache.node, block=block)
+            if (entry.state is not DirectoryState.WAITING
+                    and cache.node not in entry.presence
+                    and not entry.overflow):
+                self._violate(
+                    "dir-agreement",
+                    f"node {cache.node} installed SHARED block {block} "
+                    f"without a presence bit (entry {entry.state.value}, "
+                    f"presence={sorted(entry.presence)})",
+                    node=cache.node, block=block)
+
+    def on_cache_invalidate(self, cache, block: int, present: bool) -> None:
+        self._record("cache.invalidate", cache.node, block,
+                     detail="hit" if present else "absent")
+
+    def on_cache_downgrade(self, cache, block: int) -> None:
+        self._record("cache.downgrade", cache.node, block)
+
+    # ------------------------------------------------------------------
+    # Directory hooks (installed on every entry when system-attached)
+    # ------------------------------------------------------------------
+    def on_dir_begin(self, entry) -> None:
+        """Called as an entry enters WAITING (pre-transition state)."""
+        self._record("dir.begin", block=entry.block,
+                     detail=f"from={entry.state.value} "
+                            f"queued={len(entry.queue)}")
+        if entry.saved_state is not None:
+            self._violate(
+                "waiting-discipline",
+                f"entry {entry.block} begins a transaction with stale "
+                f"saved_state={entry.saved_state.value}",
+                block=entry.block)
+        if self.system is not None:
+            bound = 2 * self.system.params.num_nodes + _QUEUE_SLACK
+            if len(entry.queue) > bound:
+                self._violate(
+                    "waiting-discipline",
+                    f"entry {entry.block} deferred-request queue holds "
+                    f"{len(entry.queue)} requests (bound {bound})",
+                    block=entry.block)
+
+    def on_dir_transition(self, entry, prev) -> None:
+        """Called after ``make_uncached/make_shared/make_exclusive``
+        with the pre-transition state."""
+        from repro.coherence.directory import DirectoryState
+        state = entry.state
+        self._record("dir.transition", block=entry.block,
+                     detail=f"{prev.value}->{state.value} "
+                            f"presence={sorted(entry.presence)} "
+                            f"owner={entry.owner}"
+                            + (" overflow" if entry.overflow else ""))
+        if prev is not DirectoryState.WAITING:
+            self._violate(
+                "waiting-discipline",
+                f"entry {entry.block} moved {prev.value} -> {state.value} "
+                f"outside a transaction (no WAITING bracket)",
+                block=entry.block)
+        if entry.saved_state is not None:
+            self._violate(
+                "waiting-discipline",
+                f"entry {entry.block} kept saved_state="
+                f"{entry.saved_state.value} after settling to "
+                f"{state.value}", block=entry.block)
+        if not self.full or self.system is None:
+            return
+        system = self.system
+        from repro.coherence.cache import CacheState
+        if state is DirectoryState.EXCLUSIVE:
+            owner = entry.owner
+            if owner is None or not 0 <= owner < system.params.num_nodes:
+                self._violate("dir-agreement",
+                              f"EXCLUSIVE entry {entry.block} has invalid "
+                              f"owner {owner!r}", block=entry.block)
+            if entry.presence != {owner}:
+                self._violate(
+                    "dir-agreement",
+                    f"EXCLUSIVE entry {entry.block} presence "
+                    f"{sorted(entry.presence)} != owner {{{owner}}}",
+                    block=entry.block)
+            for cache in system.caches:
+                if cache.node != owner and entry.block in cache:
+                    self._violate(
+                        "swmr",
+                        f"block {entry.block} went EXCLUSIVE to node "
+                        f"{owner} while node {cache.node} still holds it "
+                        f"{cache.state(entry.block).value}",
+                        node=cache.node, block=entry.block)
+        elif state is DirectoryState.SHARED:
+            for cache in system.caches:
+                held = cache.state(entry.block)
+                if held is CacheState.MODIFIED:
+                    self._violate(
+                        "swmr",
+                        f"block {entry.block} went SHARED while node "
+                        f"{cache.node} holds it MODIFIED",
+                        node=cache.node, block=entry.block)
+                if (held is not None and cache.node not in entry.presence
+                        and not entry.overflow):
+                    self._violate(
+                        "dir-agreement",
+                        f"block {entry.block} went SHARED with presence "
+                        f"{sorted(entry.presence)} but node {cache.node} "
+                        f"holds a copy", node=cache.node, block=entry.block)
+        elif state is DirectoryState.UNCACHED:
+            for cache in system.caches:
+                if entry.block in cache:
+                    self._violate(
+                        "dir-agreement",
+                        f"block {entry.block} went UNCACHED while node "
+                        f"{cache.node} holds it "
+                        f"{cache.state(entry.block).value}",
+                        node=cache.node, block=entry.block)
+
+    # ------------------------------------------------------------------
+    # Invalidation-engine hooks
+    # ------------------------------------------------------------------
+    def on_txn_start(self, st) -> None:
+        self._txns[st.txn] = ledger = _TxnAudit(st.plan.sharers)
+        self._record("txn.start", node=st.plan.home, txn=st.txn,
+                     detail=f"scheme={st.plan.scheme} "
+                            f"sharers={list(st.plan.sharers)} "
+                            f"attempt={st.attempt}")
+        del ledger  # recorded; populated by the hooks below
+
+    def on_worm_sent(self, st, worm) -> None:
+        ledger = self._txns.get(st.txn)
+        if ledger is not None:
+            ledger.sent += 1
+        self._record("txn.send", node=worm.src, txn=st.txn,
+                     detail=f"{worm.kind.value} -> {list(worm.dests)} "
+                            f"worm #{worm.uid}")
+
+    def on_invalidated(self, st, node: int) -> None:
+        ledger = self._txns.get(st.txn)
+        if ledger is not None:
+            ledger.inval_counts[node] = ledger.inval_counts.get(node, 0) + 1
+        self._record("txn.invalidated", node=node, txn=st.txn)
+
+    def on_ack(self, st, count: int, sharer: Optional[int]) -> None:
+        ledger = self._txns.get(st.txn)
+        if ledger is not None:
+            ledger.acks += count
+        self._record("txn.ack", node=sharer, txn=st.txn,
+                     detail=f"count={count}")
+
+    def on_loss(self, st, reason: str) -> None:
+        ledger = self._txns.get(st.txn)
+        if ledger is not None:
+            ledger.losses += 1
+        self._record("txn.loss", txn=st.txn, detail=reason)
+
+    def on_txn_fail(self, st, reason: str) -> None:
+        self._txns.pop(st.txn, None)
+        self._record("txn.fail", node=st.plan.home, txn=st.txn,
+                     detail=reason)
+
+    def on_txn_finish(self, st) -> None:
+        """Transaction-conservation checks at completion time."""
+        ledger = self._txns.pop(st.txn, None)
+        self._record("txn.finish", node=st.plan.home, txn=st.txn,
+                     detail=f"attempts={st.attempt} acks={st.acks} "
+                            f"downgrades={st.downgrades}")
+        if ledger is None:  # started before the auditor attached
+            return
+        self.txns_checked += 1
+        faulty = self.net.faults is not None
+        missing = ledger.sharers - set(ledger.inval_counts)
+        if missing:
+            self._violate(
+                "txn-conservation",
+                f"transaction finished with sharer(s) {sorted(missing)} "
+                f"never invalidated (sent={ledger.sent} "
+                f"acks={ledger.acks} losses={ledger.losses} "
+                f"downgrades={st.downgrades})", txn=st.txn)
+        phantom = set(ledger.inval_counts) - ledger.sharers
+        if phantom:
+            self._violate(
+                "txn-conservation",
+                f"non-sharer node(s) {sorted(phantom)} were invalidated",
+                txn=st.txn)
+        if not faulty:
+            dupes = {n: c for n, c in ledger.inval_counts.items() if c != 1}
+            if dupes:
+                self._violate(
+                    "txn-conservation",
+                    f"sharers invalidated more than once on a perfect "
+                    f"network: {dupes}", txn=st.txn)
+            if ledger.acks != len(ledger.sharers):
+                self._violate(
+                    "txn-conservation",
+                    f"{ledger.acks} acknowledgment(s) received for "
+                    f"{len(ledger.sharers)} sharer(s) with no recorded "
+                    f"losses", txn=st.txn)
+
+    # ------------------------------------------------------------------
+    # Final quiescence sweep
+    # ------------------------------------------------------------------
+    def final_check(self) -> None:
+        """End-of-run sweep: worm conservation, leaked buffer entries,
+        open transactions, directory/cache agreement at rest.
+
+        Worm conservation is only decidable when the network is idle; a
+        run stopped with traffic still in flight (e.g. an eviction
+        writeback racing program completion) skips that part.
+        """
+        self.final_checks += 1
+        self._record("audit.final")
+        net = self.net
+        if self.engine is not None and self.engine._txns:
+            self._violate(
+                "txn-conservation",
+                f"{len(self.engine._txns)} invalidation transaction(s) "
+                f"still open at quiescence: "
+                f"{sorted(self.engine._txns)}")
+        swallowed = leaked = 0
+        for router in net.routers:
+            iack = router.interface.iack
+            swallowed += iack.swallowed
+            leaked += len(iack._entries)
+        if leaked:
+            self._violate(
+                "worm-conservation",
+                f"{leaked} i-ack buffer entr(ies) leaked at quiescence")
+        if net.idle():
+            # Fault-dropped worms are filtered at injection time and
+            # never counted in ``injected``, so they do not appear here.
+            accounted = net.delivered + swallowed
+            if net.injected != accounted:
+                self._violate(
+                    "worm-conservation",
+                    f"{net.injected} worm(s) entered the mesh but only "
+                    f"{accounted} left it (delivered={net.delivered}, "
+                    f"swallowed={swallowed}; {net.worms_dropped} more "
+                    f"dropped at injection)")
+        if self.system is not None:
+            self._final_directory_sweep()
+
+    def _final_directory_sweep(self) -> None:
+        from repro.coherence.cache import CacheState
+        from repro.coherence.directory import DirectoryState
+        system = self.system
+        for directory in system.dirs:
+            for block in directory.known_blocks():
+                entry = directory.entry(block)
+                if entry.busy or entry.queue or entry.in_service:
+                    self._violate(
+                        "waiting-discipline",
+                        f"entry {block} at home {directory.home} not "
+                        f"quiescent (state={entry.state.value}, "
+                        f"queued={len(entry.queue)}, "
+                        f"in_service={entry.in_service})", block=block)
+                holders = [c for c in system.caches if block in c]
+                if entry.state is DirectoryState.EXCLUSIVE:
+                    strangers = [c.node for c in holders
+                                 if c.node != entry.owner]
+                    if strangers:
+                        self._violate(
+                            "swmr",
+                            f"EXCLUSIVE block {block} (owner "
+                            f"{entry.owner}) also cached at {strangers}",
+                            block=block)
+                else:
+                    mod = [c.node for c in holders
+                           if c.state(block) is CacheState.MODIFIED]
+                    if mod:
+                        self._violate(
+                            "swmr",
+                            f"{entry.state.value} block {block} held "
+                            f"MODIFIED at {mod}", block=block)
+                    if not entry.overflow:
+                        uncovered = [c.node for c in holders
+                                     if c.node not in entry.presence]
+                        if uncovered:
+                            self._violate(
+                                "dir-agreement",
+                                f"block {block} cached at {uncovered} "
+                                f"without presence bits "
+                                f"(presence={sorted(entry.presence)}, "
+                                f"state={entry.state.value})", block=block)

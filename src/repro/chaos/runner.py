@@ -1,0 +1,73 @@
+"""The chaos soak loop: N seeds, shrink on failure, emit bundles.
+
+Backs ``repro chaos`` and the CI ``chaos-soak`` job: every seed draws a
+scenario (randomized workload x fault storm), runs it under ``full``
+auditing, and on any unexpected outcome — invariant violation, fault-
+free ``TransactionFailed``, deadlock, hang — greedily shrinks the
+scenario and writes a JSON repro bundle that ``repro replay`` re-runs
+deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.chaos.bundle import make_bundle, write_bundle
+from repro.chaos.scenario import generate_scenario, run_scenario
+from repro.chaos.shrink import shrink
+
+
+def _slug(signature: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in signature).strip("-")
+
+
+def run_chaos(seeds: int, *, smoke: bool = False, audit: str = "full",
+              out_dir: str = "chaos-bundles", base_seed: int = 0,
+              mutation: Optional[str] = None,
+              checker: Optional[Callable] = None,
+              max_shrink_runs: int = 48,
+              log: Callable[[str], None] = lambda msg: None) -> dict:
+    """Soak ``seeds`` scenarios; returns a summary dict.
+
+    Summary keys: ``seeds``, ``passed``, ``failed``, ``expected_txn_
+    failures`` (typed fault outcomes, not bugs), ``violations`` (audited
+    transactions never tripped an invariant), and ``bundles`` (paths of
+    repro bundles written for failing seeds, one per failure).
+    """
+    passed = failed = expected = 0
+    bundles: list[str] = []
+    signatures: list[str] = []
+    for i in range(seeds):
+        scenario = generate_scenario(base_seed + i, smoke=smoke,
+                                     mutation=mutation)
+        result = run_scenario(scenario, audit=audit, checker=checker)
+        if result.ok:
+            passed += 1
+            expected += result.expected_failures
+            log(f"seed {scenario.seed}: ok"
+                + (" (expected TransactionFailed)" if
+                   result.expected_failures else ""))
+            continue
+        failed += 1
+        signatures.append(result.signature)
+        log(f"seed {scenario.seed}: {result.signature} — shrinking")
+        shrunk, runs = shrink(result, audit=audit, checker=checker,
+                              max_runs=max_shrink_runs, log=log)
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(
+            out_dir,
+            f"bundle-seed{scenario.seed}-{_slug(result.signature)}.json")
+        write_bundle(path, make_bundle(shrunk, audit=audit,
+                                       original=scenario,
+                                       shrink_runs=runs))
+        bundles.append(path)
+        log(f"seed {scenario.seed}: wrote {path} ({runs} shrink runs)")
+    return {
+        "seeds": seeds,
+        "passed": passed,
+        "failed": failed,
+        "expected_txn_failures": expected,
+        "signatures": signatures,
+        "bundles": bundles,
+    }

@@ -10,7 +10,11 @@ Commands:
 * ``report`` — run the full evaluation into a markdown report;
 * ``worms`` — draw the worm paths a scheme uses for a sharing pattern;
 * ``faults`` — chaos sweep: completion rate, retries, and latency
-  inflation under seeded link/router faults and worm drops.
+  inflation under seeded link/router faults and worm drops;
+* ``chaos`` — soak seeded chaos scenarios under ``full`` invariant
+  auditing; failures are shrunk into JSON repro bundles;
+* ``replay`` — re-run a repro bundle deterministically and check that
+  its failure signature reproduces.
 """
 
 from __future__ import annotations
@@ -125,6 +129,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--detour-limit", type=int, default=8,
                           help="misroute budget per worm under "
                                "--fault-aware (0 = prune-only)")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="soak seeded chaos scenarios under full auditing")
+    p_chaos.add_argument("--seeds", type=int, default=25,
+                         help="number of scenarios to run")
+    p_chaos.add_argument("--base-seed", type=int, default=0,
+                         help="first scenario seed")
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="small scenarios only (the CI soak job)")
+    p_chaos.add_argument("--audit", default="full",
+                         choices=["cheap", "full"],
+                         help="invariant audit level for the runs")
+    p_chaos.add_argument("--out-dir", default="chaos-bundles",
+                         help="directory for repro bundles of failures")
+    p_chaos.add_argument("--mutation", default=None,
+                         help="apply a deliberate protocol mutation to "
+                              "every scenario (to exercise the "
+                              "catch/shrink/replay pipeline)")
+    p_chaos.add_argument("--max-shrink-runs", type=int, default=48,
+                         help="shrink budget per failing scenario")
+
+    p_replay = sub.add_parser(
+        "replay", help="re-run a chaos repro bundle")
+    p_replay.add_argument("bundle", help="path to a repro bundle JSON")
+    p_replay.add_argument("--trail", type=int, default=20,
+                          help="protocol-event trail lines to print on "
+                               "a reproduced violation (0 = none)")
 
     p_worms = sub.add_parser("worms", help="draw a scheme's worm paths")
     p_worms.add_argument("--scheme", default="mi-ua-ec",
@@ -260,6 +291,65 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """``repro chaos``: soak seeded scenarios; bundle any failures."""
+    from repro.chaos import MUTATIONS, run_chaos
+
+    if args.mutation is not None and args.mutation not in MUTATIONS:
+        print(f"unknown mutation {args.mutation!r}; choose from "
+              f"{sorted(MUTATIONS)}", file=sys.stderr)
+        return 2
+    summary = run_chaos(args.seeds, smoke=args.smoke, audit=args.audit,
+                        out_dir=args.out_dir, base_seed=args.base_seed,
+                        mutation=args.mutation,
+                        max_shrink_runs=args.max_shrink_runs,
+                        log=lambda msg: print(f"[chaos] {msg}"))
+    print(f"chaos soak: {summary['passed']}/{summary['seeds']} passed, "
+          f"{summary['failed']} failed "
+          f"({summary['expected_txn_failures']} expected transaction "
+          f"failures under fault storms)")
+    for path in summary["bundles"]:
+        print(f"  repro bundle: {path}")
+    return 0 if summary["failed"] == 0 else 1
+
+
+def cmd_replay(args) -> int:
+    """``repro replay``: deterministically re-run a repro bundle."""
+    from repro.chaos import load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load bundle: {exc}", file=sys.stderr)
+        return 2
+    result, matched = replay_bundle(bundle)
+    scenario = result.scenario
+    print(f"scenario: seed={scenario.seed} "
+          f"mesh={scenario.mesh_width}x{scenario.mesh_height} "
+          f"scheme={scenario.scheme} blocks={scenario.blocks} "
+          f"refs={scenario.refs_per_node} faults="
+          f"{'yes' if scenario.has_faults else 'no'}")
+    print(f"expected: {bundle['signature']}")
+    print(f"observed: {result.signature or 'ok'}")
+    if result.message:
+        # Violation messages embed the trail; it is printed separately.
+        print(f"message:  {result.message.splitlines()[0]}")
+    if matched and result.trail and args.trail > 0:
+        print("protocol-event trail (most recent last):")
+        for line in result.trail[-args.trail:]:
+            print(f"  {line}")
+    if matched:
+        print("signature reproduced")
+        return 0
+    if bundle["signature"].startswith("custom:"):
+        print("signature NOT reproduced — bundles from custom checkers "
+              "need the checker re-registered "
+              "(repro.chaos.replay_bundle(bundle, checker=...))")
+    else:
+        print("signature NOT reproduced")
+    return 1
+
+
 def cmd_worms(args) -> int:
     """``repro worms``: ASCII-draw a scheme's worm paths."""
     from repro.brcp.model import conformant_walk
@@ -302,6 +392,8 @@ _COMMANDS = {
     "report": cmd_report,
     "worms": cmd_worms,
     "faults": cmd_faults,
+    "chaos": cmd_chaos,
+    "replay": cmd_replay,
 }
 
 

@@ -27,6 +27,10 @@ class CacheState(Enum):
 class Cache:
     """Blocks currently held by one node, with optional LRU capacity."""
 
+    #: Runtime invariant auditor, set by :meth:`repro.audit.Auditor.install`
+    #: (None = auditing off; hooks cost one identity test).
+    audit = None
+
     def __init__(self, node: int, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 lines or None")
@@ -83,12 +87,17 @@ class Cache:
             victim = (vblock, vstate)
         self._lines[block] = state
         self._lines.move_to_end(block)
+        if self.audit is not None:
+            self.audit.on_cache_install(self, block, state, victim)
         return victim
 
     def invalidate(self, block: int) -> bool:
         """Drop a line (remote invalidation); True if it was present."""
         self.invalidations_received += 1
-        return self._lines.pop(block, None) is not None
+        present = self._lines.pop(block, None) is not None
+        if self.audit is not None:
+            self.audit.on_cache_invalidate(self, block, present)
+        return present
 
     def downgrade(self, block: int) -> None:
         """M -> S on a recall-shared."""
@@ -96,3 +105,5 @@ class Cache:
             raise RuntimeError(
                 f"node {self.node}: downgrade of non-modified block {block}")
         self._lines[block] = CacheState.SHARED
+        if self.audit is not None:
+            self.audit.on_cache_downgrade(self, block)

@@ -28,10 +28,12 @@ class DirectoryEntry:
     """State, presence bits, and the deferred-request queue of one block."""
 
     __slots__ = ("block", "state", "presence", "owner", "queue",
-                 "saved_state", "in_service", "overflow")
+                 "saved_state", "in_service", "overflow", "audit")
 
     def __init__(self, block: int) -> None:
         self.block = block
+        #: Runtime invariant auditor (None = auditing off).
+        self.audit = None
         self.state = DirectoryState.UNCACHED
         #: Nodes holding a valid shared copy (the pointer array).
         self.presence: set[int] = set()
@@ -57,16 +59,21 @@ class DirectoryEntry:
         """Enter WAITING, remembering the pre-transaction state."""
         if self.busy:
             raise RuntimeError(f"block {self.block} already waiting")
+        if self.audit is not None:
+            self.audit.on_dir_begin(self)
         self.saved_state = self.state
         self.state = DirectoryState.WAITING
 
     def make_uncached(self) -> None:
         """Reset to UNCACHED (after a writeback retires the block)."""
+        prev = self.state
         self.state = DirectoryState.UNCACHED
         self.presence.clear()
         self.owner = None
         self.saved_state = None
         self.overflow = False
+        if self.audit is not None:
+            self.audit.on_dir_transition(self, prev)
 
     def make_shared(self, nodes: set[int],
                     pointer_limit: Optional[int] = None) -> None:
@@ -76,6 +83,7 @@ class DirectoryEntry:
         writeback clears the entry."""
         if not nodes:
             raise ValueError("shared entry needs at least one sharer")
+        prev = self.state
         self.state = DirectoryState.SHARED
         if pointer_limit is None:
             self.presence = set(nodes)
@@ -91,18 +99,27 @@ class DirectoryEntry:
             self.presence = keep
         self.owner = None
         self.saved_state = None
+        if self.audit is not None:
+            self.audit.on_dir_transition(self, prev)
 
     def make_exclusive(self, owner: int) -> None:
         """Grant exclusive ownership to ``owner``."""
+        prev = self.state
         self.state = DirectoryState.EXCLUSIVE
         self.presence = {owner}
         self.owner = owner
         self.saved_state = None
         self.overflow = False
+        if self.audit is not None:
+            self.audit.on_dir_transition(self, prev)
 
 
 class Directory:
     """All directory entries homed at one node."""
+
+    #: Runtime invariant auditor propagated onto new entries
+    #: (None = auditing off).
+    audit = None
 
     def __init__(self, home: int) -> None:
         self.home = home
@@ -113,6 +130,7 @@ class Directory:
         e = self._entries.get(block)
         if e is None:
             e = DirectoryEntry(block)
+            e.audit = self.audit
             self._entries[block] = e
         return e
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.audit import Auditor
 from repro.config import SystemParameters
 from repro.coherence.cache import Cache, CacheState
 from repro.coherence.directory import Directory, DirectoryEntry, DirectoryState
@@ -48,7 +49,8 @@ class DSMSystem:
                  cache_capacity: Optional[int] = None,
                  consistency: str = "sc",
                  directory_pointers: Optional[int] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 audit: Optional[str] = None) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; "
                              f"choose from {sorted(SCHEMES)}")
@@ -122,6 +124,14 @@ class DSMSystem:
         self.broadcast_invalidations = 0
         #: Coherence messages retransmitted after a loss NACK.
         self.coh_resends = 0
+
+        # Runtime invariant auditing (None when the effective level —
+        # the stricter of the ``audit`` argument, ``params.audit``, and
+        # the REPRO_AUDIT environment variable — is "off").  The auditor
+        # observes synchronously and never schedules events, so results
+        # are bit-identical at every level.
+        self.audit = Auditor.install(
+            self, audit if audit is not None else params.audit)
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -410,8 +420,19 @@ class DSMSystem:
             return
         # Exclusive at some owner: recall to shared.
         owner = entry.owner
-        assert owner is not None and owner != requester, \
-            "read miss from the exclusive owner"
+        assert owner is not None, "exclusive entry without an owner"
+        if owner == requester:
+            # The owner misses on its own exclusive block: it evicted
+            # the modified line and the voluntary writeback is still in
+            # flight (the short request overtook it).  Absorb the
+            # writeback instead of recalling ourselves.
+            entry.begin_transaction()
+            yield from self._absorb_writeback(home, entry, requester)
+            yield from self.mem[home].use(p.mem_access)
+            entry.make_shared({requester}, self.directory_pointers)
+            yield from self._reply(home, requester,
+                                   CohType.DATA_REPLY, block)
+            return
         entry.begin_transaction()
         if owner == home:
             # Home's own cache holds it modified: local downgrade.
@@ -474,8 +495,17 @@ class DSMSystem:
             return
         # Exclusive at another owner.
         owner = entry.owner
-        assert owner is not None and owner != requester, \
-            "write request from the current exclusive owner"
+        assert owner is not None, "exclusive entry without an owner"
+        if owner == requester:
+            # Evicted-then-rewritten: the owner's voluntary writeback is
+            # still in flight behind this request (see _dc_read).
+            entry.begin_transaction()
+            yield from self._absorb_writeback(home, entry, requester)
+            yield from self.mem[home].use(p.mem_access)
+            entry.make_exclusive(requester)
+            yield from self._reply(home, requester, CohType.EX_GRANT,
+                                   block, data=True)
+            return
         entry.begin_transaction()
         if owner == home:
             yield from self.engine.proc[home].use(p.cache_invalidate)
@@ -499,6 +529,29 @@ class DSMSystem:
         self._send(home, owner, coh_payload(mtype, block, home))
         yield event
 
+    def _absorb_writeback(self, home: int, entry: DirectoryEntry,
+                          owner: int):
+        """Consume the voluntary WB_DATA an eviction put in flight when
+        its own requester's next miss overtook it.
+
+        The writeback is either already queued behind the request on
+        this entry (take it out — waiting would deadlock the service
+        loop) or still in the network (wait for it like a recall
+        answer).  Stale writebacks from *previous* owners may also still
+        be in flight; those are dropped, not absorbed."""
+        while True:
+            for queued in entry.queue:
+                if (queued["type"] is CohType.WB_DATA
+                        and queued["requester"] == owner):
+                    entry.queue.remove(queued)
+                    return
+            event = self.sim.event(f"absorb.{home}.{entry.block}")
+            self._recall_wait[(home, entry.block)] = event
+            payload = yield event
+            if payload["requester"] == owner:
+                return
+            self.dropped_writebacks += 1
+
     def _reply(self, home: int, requester: int, mtype: CohType,
                block: int, data: bool = True):
         yield from self.engine.oc[home].use(self.params.send_overhead)
@@ -520,6 +573,20 @@ class DSMSystem:
         """Shared-to-modified upgrades across all nodes."""
         return sum(c.upgrades for c in self.caches)
 
+    def metrics_snapshot(self) -> dict:
+        """One consistent view of the coherence, fault, and recovery
+        counters across the system, engine, and network (see
+        :meth:`InvalidationEngine.metrics_snapshot`)."""
+        snapshot = self.engine.metrics_snapshot()
+        snapshot.update(
+            hits=self.total_hits(), misses=self.total_misses(),
+            upgrades=self.total_upgrades(),
+            invalidations=self.invalidation_count,
+            dropped_writebacks=self.dropped_writebacks,
+            broadcast_invalidations=self.broadcast_invalidations,
+            coh_resends=self.coh_resends)
+        return snapshot
+
     def assert_quiescent(self) -> None:
         """Invariant check once all processors finished: nothing pending,
         no waiting directory entries, no leaked i-ack buffer entries."""
@@ -535,3 +602,5 @@ class DSMSystem:
         for r in self.net.routers:
             assert not r.interface.iack._entries, \
                 f"leaked i-ack entries at node {r.node}"
+        if self.audit is not None:
+            self.audit.final_check()

@@ -18,6 +18,15 @@ from dataclasses import dataclass, replace
 from typing import Any
 
 
+class ConfigError(ValueError):
+    """A :class:`SystemParameters` field has a nonsensical value.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; raised from ``__post_init__`` so a bad
+    configuration fails at construction time, not deep inside a run.
+    """
+
+
 @dataclass(frozen=True)
 class SystemParameters:
     """Immutable bundle of simulation parameters.
@@ -153,32 +162,60 @@ class SystemParameters:
     #: produce bit-identical simulation results; ``"legacy"`` exists for
     #: the perf harness baseline and golden-output tests.
     kernel: str = "fast"
+    #: Runtime invariant auditing level: ``"off"`` (bit-identical,
+    #: ≈zero overhead), ``"cheap"`` (event trail + transaction
+    #: conservation + final sweep), or ``"full"`` (``cheap`` plus
+    #: per-event SWMR/agreement scans).  The REPRO_AUDIT environment
+    #: variable can raise (never lower) the effective level.
+    audit: str = "off"
 
     def __post_init__(self) -> None:
         if self.mesh_width < 1 or self.mesh_height < 1:
-            raise ValueError("mesh dimensions must be >= 1")
+            raise ConfigError("mesh dimensions must be >= 1")
+        if self.net_cycle_ns <= 0:
+            raise ConfigError("net_cycle_ns must be > 0")
+        if self.proc_cycle < 1:
+            raise ConfigError("proc_cycle must be >= 1")
+        if self.router_delay < 0:
+            raise ConfigError("router_delay must be >= 0")
         if self.num_vnets < 2:
-            raise ValueError("need >= 2 virtual networks (request/reply)")
+            raise ConfigError("need >= 2 virtual networks (request/reply)")
         if self.consumption_channels < 1:
-            raise ValueError("need >= 1 consumption channel")
+            raise ConfigError("need >= 1 consumption channel")
         if self.iack_buffers < 1:
-            raise ValueError("need >= 1 i-ack buffer")
+            raise ConfigError("need >= 1 i-ack buffer")
         if self.multidest_encoding not in ("bitstring", "list"):
-            raise ValueError("multidest_encoding must be 'bitstring' or 'list'")
+            raise ConfigError(
+                "multidest_encoding must be 'bitstring' or 'list'")
         if self.vc_buffer_depth < 1:
-            raise ValueError("vc_buffer_depth must be >= 1")
+            raise ConfigError("vc_buffer_depth must be >= 1")
+        if self.header_flits < 1:
+            raise ConfigError("header_flits must be >= 1")
+        for name in ("multidest_header_flits", "control_flits",
+                     "gather_payload_flits"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        if self.cache_block_bytes < 1:
+            raise ConfigError("cache_block_bytes must be >= 1")
+        for name in ("cache_access", "cache_invalidate", "dir_access",
+                     "mem_access", "send_overhead", "recv_overhead",
+                     "iack_deposit", "iack_pickup"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
         if self.txn_timeout < 1:
-            raise ValueError("txn_timeout must be >= 1")
+            raise ConfigError("txn_timeout must be >= 1")
         if self.txn_max_retries < 0:
-            raise ValueError("txn_max_retries must be >= 0")
+            raise ConfigError("txn_max_retries must be >= 0")
         if self.txn_backoff < 1:
-            raise ValueError("txn_backoff must be >= 1")
+            raise ConfigError("txn_backoff must be >= 1")
         if self.fault_retry_delay < 0 or self.fault_nack_delay < 0:
-            raise ValueError("fault delays must be >= 0")
+            raise ConfigError("fault delays must be >= 0")
         if self.detour_limit < 0:
-            raise ValueError("detour_limit must be >= 0")
+            raise ConfigError("detour_limit must be >= 0")
         if self.kernel not in ("fast", "legacy"):
-            raise ValueError("kernel must be 'fast' or 'legacy'")
+            raise ConfigError("kernel must be 'fast' or 'legacy'")
+        if self.audit not in ("off", "cheap", "full"):
+            raise ConfigError("audit must be 'off', 'cheap', or 'full'")
 
     # ------------------------------------------------------------------
     # Derived quantities

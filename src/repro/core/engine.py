@@ -107,6 +107,9 @@ class InvalidationEngine:
             net.on_worm_dropped = self._on_worm_dropped
         self._txns: dict[int, _TxnState] = {}
         self._ids = itertools.count(1)
+        #: Runtime invariant auditor, set by
+        #: :meth:`repro.audit.Auditor.install` (None = auditing off).
+        self.audit = None
         #: Completed transactions, in completion order.
         self.records: list[TransactionRecord] = []
         #: Terminal failures (retries exhausted), in failure order.
@@ -168,9 +171,32 @@ class InvalidationEngine:
                     for jp in degraded.junctions}
         if self._uses_iack(st.plan):
             self._ma_active += 1
+        if self.audit is not None:
+            self.audit.on_txn_start(st)
         if faults is not None:
             self._arm_timer(st)
         self.sim.spawn(self._home_send(st), name=f"txn{st.txn}.home")
+
+    def metrics_snapshot(self) -> dict:
+        """One consistent view of the fault/recovery counters scattered
+        across the engine, its records, and the network — the single
+        source audit reports, the chaos runner, and the fault sweeps
+        read (satellite of the auditor work; see ``docs/AUDIT.md``)."""
+        records = self.records
+        snapshot = {
+            "transactions": len(records),
+            "failures": len(self.failures),
+            "retries": sum(r.attempts - 1 for r in records),
+            "downgrades": sum(r.downgrades for r in records),
+            "reroutes": sum(r.reroutes for r in records),
+            "stale_deliveries": self.stale_deliveries,
+            "ma_admission_waits": self.ma_admission_waits,
+        }
+        counters = self.net.phase_counters()
+        for key in ("injected", "delivered", "worms_dropped", "detours",
+                    "swallowed", "total_flit_hops"):
+            snapshot[f"net.{key}"] = counters[key]
+        return snapshot
 
     def run(self, plan: InvalidationPlan,
             limit: Optional[int] = None) -> TransactionRecord:
@@ -227,6 +253,8 @@ class InvalidationEngine:
 
     def _inject(self, st: _TxnState, worm: Worm) -> None:
         st.worms.append(worm)
+        if self.audit is not None:
+            self.audit.on_worm_sent(st, worm)
         self.net.inject(worm)
 
     # ------------------------------------------------------------------
@@ -311,6 +339,8 @@ class InvalidationEngine:
         error on a perfect network.
         """
         self.invalidate_hook(node, st.txn)
+        if self.audit is not None:
+            self.audit.on_invalidated(st, node)
         ev = st.inval_done[node]
         if self.net.faults is not None and ev.triggered:
             return
@@ -450,6 +480,8 @@ class InvalidationEngine:
         if st.recovering or st.done.triggered:
             return
         st.recovering = True
+        if self.audit is not None:
+            self.audit.on_loss(st, reason)
         if st.timer is not None:
             st.timer.cancel()
         p = self.params
@@ -516,6 +548,8 @@ class InvalidationEngine:
         self.net.purge_txn(st.txn)
         exc = TransactionFailed(st.txn, st.plan.scheme, st.attempt, reason)
         self.failures.append(exc)
+        if self.audit is not None:
+            self.audit.on_txn_fail(st, reason)
         self._teardown(st)
         st.done.succeed(exc)
 
@@ -524,6 +558,8 @@ class InvalidationEngine:
     # ------------------------------------------------------------------
     def _credit(self, st: _TxnState, count: int,
                 sharer: Optional[int] = None) -> None:
+        if self.audit is not None:
+            self.audit.on_ack(st, count, sharer)
         if st.per_sharer:
             # Aggregate acks from before the recovery switch cannot be
             # attributed to sharers; only sharer-tagged retry acks count.
@@ -544,6 +580,8 @@ class InvalidationEngine:
         if st.timer is not None:
             st.timer.cancel()
         st.end = self.sim.now
+        if self.audit is not None:
+            self.audit.on_txn_finish(st)
         record = TransactionRecord(
             txn=st.txn, scheme=st.plan.scheme, home=st.plan.home,
             sharers=st.needed, start=st.start, end=st.end,

@@ -103,6 +103,7 @@ def _run_point(scheme: str, prob: float, fault_plan: Optional[FaultPlan],
         downgrades.add(record.downgrades)
         reroutes.add(record.reroutes)
     issued = completed + failed
+    snapshot = engine.metrics_snapshot()
     return {
         "scheme": scheme,
         "drop_prob": prob,
@@ -114,6 +115,6 @@ def _run_point(scheme: str, prob: float, fault_plan: Optional[FaultPlan],
         "retries": retries.mean if completed else float("nan"),
         "downgrades": downgrades.mean if completed else float("nan"),
         "reroutes": reroutes.mean if completed else float("nan"),
-        "worms_dropped": net.worms_dropped,
-        "detours": net.detours,
+        "worms_dropped": snapshot["net.worms_dropped"],
+        "detours": snapshot["net.detours"],
     }

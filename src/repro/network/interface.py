@@ -74,6 +74,10 @@ class IAckBufferFile:
         #: shared across every interface of a network.
         self.dead_txns: set[Hashable] = set()
         self._blackholed: set[Hashable] = set()
+        #: Parked worms swallowed by a purge or its blackhole — they
+        #: left the network without a delivery.  Worm-conservation
+        #: audits charge them here: injected == delivered + swallowed.
+        self.swallowed = 0
 
     def _dead(self, key: Hashable) -> bool:
         return (bool(self.dead_txns) and isinstance(key, tuple)
@@ -90,7 +94,11 @@ class IAckBufferFile:
         stale = [k for k in self._entries
                  if isinstance(k, tuple) and k and k[0] == txn]
         for k in stale:
-            del self._entries[k]
+            entry = self._entries.pop(k)
+            if entry.parked is not None and not entry.draining:
+                # A still-draining worm is counted when its tail-drain
+                # handler hits the dead branch of finish_park_drain.
+                self.swallowed += 1
         self._blackholed -= {k for k in self._blackholed
                              if isinstance(k, tuple) and k and k[0] == txn}
         return len(stale)
@@ -203,6 +211,7 @@ class IAckBufferFile:
         """
         if self._dead(key):
             self._blackholed.discard(key)
+            self.swallowed += 1
             return None  # the swallowed worm stays gone
         entry = self._entries.get(key)
         if entry is None or entry.parked is None:

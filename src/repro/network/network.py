@@ -251,6 +251,12 @@ class MeshNetwork:
             "total_flit_hops": self.total_flit_hops,
             "injected": self.injected,
             "delivered": self.delivered,
+            # Fault/recovery counters (one consistent view for the
+            # chaos runner, audit reports, and the fault sweeps).
+            "worms_dropped": self.worms_dropped,
+            "detours": self.detours,
+            "swallowed": sum(r.interface.iack.swallowed
+                             for r in self.routers),
         }
 
     # ------------------------------------------------------------------

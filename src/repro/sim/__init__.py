@@ -16,7 +16,8 @@ Time is an integer count of network cycles everywhere, which keeps the
 simulation exactly deterministic.
 """
 
-from repro.sim.engine import Event, AllOf, AnyOf, Simulator, Timeout, Timer
+from repro.sim.engine import (Event, AllOf, AnyOf, SimulationError,
+                              Simulator, Timeout, Timer)
 from repro.sim.process import Process
 from repro.sim.resource import Facility, Resource
 from repro.sim.stats import Histogram, Tally, TimeWeighted
@@ -29,6 +30,7 @@ __all__ = [
     "Histogram",
     "Process",
     "Resource",
+    "SimulationError",
     "Simulator",
     "Tally",
     "TimeWeighted",

@@ -1,0 +1,155 @@
+"""Chaos engine: scenario generation, shrinking, and repro bundles.
+
+The headline property (hypothesis): on the unmutated protocol, *any*
+fault-free seeded scenario runs to completion under ``full`` auditing
+with zero invariant violations.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos import (ChaosScenario, load_bundle, make_bundle,
+                         replay_bundle, run_chaos, run_scenario, shrink,
+                         write_bundle, generate_scenario)
+
+
+def mutated_scenario():
+    """A small scenario whose seeded mutation the auditor must catch."""
+    return ChaosScenario(seed=0, mesh_width=4, mesh_height=4,
+                         scheme="mi-ma-ec", blocks=6, refs_per_node=6,
+                         write_frac=0.6, mutation="stale-sharer")
+
+
+# ----------------------------------------------------------------------
+# Scenario generation
+# ----------------------------------------------------------------------
+def test_generation_is_a_pure_function_of_the_seed():
+    assert generate_scenario(7) == generate_scenario(7)
+    assert generate_scenario(7, smoke=True) == generate_scenario(7, smoke=True)
+    drawn = {generate_scenario(s) for s in range(10)}
+    assert len(drawn) == 10
+
+
+def test_smoke_scenarios_stay_small():
+    for seed in range(20):
+        s = generate_scenario(seed, smoke=True)
+        assert s.mesh_width * s.mesh_height == 16
+        assert s.refs_per_node <= 12
+        assert s.cache_capacity is None and s.directory_pointers is None
+
+
+def test_scenario_dict_round_trip():
+    s = generate_scenario(3)
+    assert ChaosScenario.from_dict(s.to_dict()) == s
+    with pytest.raises(ValueError, match="unknown scenario field"):
+        ChaosScenario.from_dict({"seed": 0, "warp_factor": 9})
+
+
+def test_scenario_json_round_trip():
+    s = generate_scenario(5, mutation="stale-sharer")
+    assert ChaosScenario.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+
+
+# ----------------------------------------------------------------------
+# Running and classification
+# ----------------------------------------------------------------------
+def test_fault_free_scenario_runs_clean():
+    s = generate_scenario(1, smoke=True).evolve(
+        link_faults=0, router_faults=0, drop_prob=0.0)
+    result = run_scenario(s)
+    assert result.ok
+    assert result.metrics is not None
+    assert result.metrics["transactions"] >= 0
+
+
+def test_runs_are_deterministic():
+    s = generate_scenario(2, smoke=True)
+    a, b = run_scenario(s), run_scenario(s)
+    assert a.signature == b.signature
+    assert a.metrics == b.metrics
+    assert a.cycle == b.cycle
+
+
+def test_mutated_scenario_fails_with_stable_signature():
+    a, b = run_scenario(mutated_scenario()), run_scenario(mutated_scenario())
+    assert not a.ok
+    assert a.signature.startswith("InvariantViolation:")
+    assert a.signature == b.signature
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def test_shrink_preserves_signature_and_reduces():
+    result = run_scenario(mutated_scenario())
+    shrunk, runs = shrink(result, max_runs=32)
+    assert runs > 0
+    assert shrunk.signature == result.signature
+    before, after = result.scenario, shrunk.scenario
+    size = lambda s: (s.refs_per_node * s.mesh_width * s.mesh_height
+                      + s.blocks)
+    assert size(after) <= size(before)
+    # The shrunk scenario still reproduces from scratch.
+    assert run_scenario(after).signature == result.signature
+
+
+# ----------------------------------------------------------------------
+# Bundles
+# ----------------------------------------------------------------------
+def test_bundle_round_trip(tmp_path):
+    result = run_scenario(mutated_scenario())
+    bundle = make_bundle(result, audit="full")
+    path = tmp_path / "bundle.json"
+    write_bundle(str(path), bundle)
+    replayed, matched = replay_bundle(load_bundle(str(path)))
+    assert matched
+    assert replayed.signature == result.signature
+
+
+def test_bundle_rejects_passing_result_and_bad_format(tmp_path):
+    ok = run_scenario(generate_scenario(1, smoke=True))
+    assert ok.ok
+    with pytest.raises(ValueError):
+        make_bundle(ok)
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError, match="not a repro-chaos-bundle"):
+        load_bundle(str(bad))
+
+
+# ----------------------------------------------------------------------
+# The soak loop
+# ----------------------------------------------------------------------
+def test_run_chaos_smoke_passes(tmp_path):
+    summary = run_chaos(3, smoke=True, out_dir=str(tmp_path))
+    assert summary["passed"] == 3 and summary["failed"] == 0
+    assert summary["bundles"] == []
+
+
+def test_run_chaos_mutation_bundles_and_replays(tmp_path):
+    summary = run_chaos(1, smoke=True, mutation="stale-sharer",
+                        out_dir=str(tmp_path), max_shrink_runs=16)
+    assert summary["failed"] == 1
+    [path] = summary["bundles"]
+    bundle = load_bundle(path)
+    assert bundle["scenario"]["mutation"] == "stale-sharer"
+    assert bundle["signature"].startswith("InvariantViolation:")
+    _result, matched = replay_bundle(bundle)
+    assert matched
+
+
+# ----------------------------------------------------------------------
+# Property: the unmutated protocol survives any fault-free scenario
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fault_free_chaos_never_violates_invariants(seed):
+    scenario = generate_scenario(seed, smoke=True).evolve(
+        link_faults=0, router_faults=0, drop_prob=0.0, fault_end=None,
+        fault_aware=False)
+    result = run_scenario(scenario, audit="full")
+    assert result.ok, f"{result.signature}: {result.message}"
+    assert result.expected_failures == 0, \
+        "a fault-free run must not fail transactions"

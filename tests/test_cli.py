@@ -86,3 +86,35 @@ def test_report_smoke_scale_generates_full_document():
     assert "Analytical model vs simulation" in text
     assert "Application execution time" in text
     assert "mi-ma-ec" in text
+
+
+def test_chaos_smoke(capsys, tmp_path):
+    code, out = run_cli(capsys, "chaos", "--seeds", "2", "--smoke",
+                        "--out-dir", str(tmp_path))
+    assert code == 0
+    assert "2/2 passed" in out
+
+
+def test_chaos_rejects_unknown_mutation(capsys):
+    code = main(["chaos", "--seeds", "1", "--mutation", "gremlins"])
+    assert code == 2
+
+
+def test_chaos_mutation_then_replay(capsys, tmp_path):
+    code, out = run_cli(capsys, "chaos", "--seeds", "1", "--smoke",
+                        "--mutation", "stale-sharer",
+                        "--max-shrink-runs", "8",
+                        "--out-dir", str(tmp_path))
+    assert code == 1
+    assert "repro bundle:" in out
+    [bundle] = [line.split(": ", 1)[1] for line in out.splitlines()
+                if "repro bundle:" in line]
+    code, out = run_cli(capsys, "replay", bundle)
+    assert code == 0
+    assert "signature reproduced" in out
+    assert "protocol-event trail" in out
+
+
+def test_replay_missing_bundle(capsys):
+    code = main(["replay", "/nonexistent/bundle.json"])
+    assert code == 2

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.config import DEFAULT_PARAMETERS, SystemParameters, paper_parameters
+from repro.config import (ConfigError, DEFAULT_PARAMETERS, SystemParameters,
+                          paper_parameters)
 
 
 def test_defaults_match_paper_technology():
@@ -51,6 +52,51 @@ def test_evolve_revalidates():
 def test_validation_rejects_bad_values(field, value):
     with pytest.raises(ValueError):
         SystemParameters(**{field: value})
+
+
+@pytest.mark.parametrize("field,value", [
+    ("net_cycle_ns", 0.0),
+    ("net_cycle_ns", -1.0),
+    ("proc_cycle", 0),
+    ("router_delay", -1),
+    ("header_flits", 0),
+    ("multidest_header_flits", -1),
+    ("control_flits", -1),
+    ("gather_payload_flits", -1),
+    ("cache_block_bytes", 0),
+    ("cache_access", -1),
+    ("cache_invalidate", -2),
+    ("dir_access", -1),
+    ("mem_access", -5),
+    ("send_overhead", -1),
+    ("recv_overhead", -1),
+    ("iack_deposit", -1),
+    ("iack_pickup", -1),
+    ("audit", "paranoid"),
+])
+def test_validation_raises_typed_config_error(field, value):
+    with pytest.raises(ConfigError):
+        SystemParameters(**{field: value})
+
+
+def test_config_error_is_a_value_error():
+    """Pre-existing ``except ValueError`` call sites keep working."""
+    assert issubclass(ConfigError, ValueError)
+    with pytest.raises(ValueError):
+        SystemParameters(mesh_width=0)
+
+
+def test_audit_level_accepted_and_defaulted():
+    assert DEFAULT_PARAMETERS.audit == "off"
+    for level in ("off", "cheap", "full"):
+        assert SystemParameters(audit=level).audit == level
+
+
+def test_config_error_message_names_the_field():
+    with pytest.raises(ConfigError, match="proc_cycle"):
+        SystemParameters(proc_cycle=0)
+    with pytest.raises(ConfigError, match="audit"):
+        SystemParameters(audit="loud")
 
 
 def test_parameters_hashable_for_caching():

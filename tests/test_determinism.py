@@ -139,6 +139,52 @@ def test_ft_routing_with_lossy_plan_is_bit_exact_across_runs():
     assert a == run_faulted_trace(plan)
 
 
+def test_audited_trace_bit_exact_across_runs():
+    """A fully-audited engine run is reproducible run to run."""
+    from repro.audit import Auditor
+
+    def audited():
+        params = SystemParameters()
+        sim = Simulator()
+        net = MeshNetwork(sim, params, "ecube")
+        engine = InvalidationEngine(sim, net, params)
+        auditor = Auditor.install_engine(engine, "full")
+        records = []
+        for home, sharers in ((10, [2, 18, 34, 50]), (33, [1, 9, 41])):
+            plan = build_plan("mi-ma-ec", net.mesh, home, sharers)
+            r = engine.run(plan, limit=5_000_000)
+            records.append((r.latency, r.total_messages, r.flit_hops))
+        auditor.final_check()
+        return records, net.total_flit_hops, sim.dispatched, \
+            auditor.txns_checked
+
+    a, b = audited(), audited()
+    assert a == b
+    assert a[3] == 2, "both transactions audited"
+
+
+def test_audit_levels_bit_identical_to_off():
+    """Auditing is observation-only: every level produces the exact
+    event calendar and record stream of the unaudited engine."""
+    from repro.audit import Auditor
+
+    def run(level):
+        params = SystemParameters()
+        sim = Simulator()
+        net = MeshNetwork(sim, params, "ecube")
+        engine = InvalidationEngine(sim, net, params)
+        Auditor.install_engine(engine, level)
+        records = []
+        for home, sharers in ((10, [2, 18, 34, 50]), (0, [63, 7, 56])):
+            plan = build_plan("ui-ua", net.mesh, home, sharers)
+            r = engine.run(plan, limit=5_000_000)
+            records.append((r.latency, r.total_messages, r.flit_hops,
+                            r.home_occupancy, r.end))
+        return records, net.total_flit_hops, sim.dispatched
+
+    assert run("off") == run("cheap") == run("full")
+
+
 def test_faults_disabled_results_unchanged_from_seed():
     """With no fault plan the records are exactly the fault-free
     simulator's (attempts all 1, no downgrades, nothing dropped)."""

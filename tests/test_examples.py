@@ -46,3 +46,10 @@ def test_iack_ablation():
     out = run_example("iack_buffer_ablation.py")
     assert "iack_buffers" in out
     assert "buffer recommendation" in out
+
+
+def test_chaos_replay():
+    out = run_example("chaos_replay.py")
+    assert "signature reproduced" in out
+    assert "shrunk:" in out
+    assert "protocol-event trail" in out

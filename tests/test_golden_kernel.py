@@ -105,3 +105,36 @@ def test_phase_counters_shapes_match():
     # Legacy sorts every cycle; the dirty flag sorts only on changes.
     assert legacy["busy_sorts"] == legacy["cycles_stepped"]
     assert fast["busy_sorts"] < legacy["busy_sorts"]
+
+
+def run_audited_record_stream(kernel, level):
+    """run_record_stream with the runtime invariant auditor attached."""
+    from repro.audit import Auditor
+
+    params = paper_parameters(8, kernel=kernel)
+    sim = Simulator()
+    net = make_network(sim, params, "ecube")
+    engine = InvalidationEngine(sim, net, params)
+    if level != "off":
+        Auditor.install_engine(engine, level)
+    rng = np.random.default_rng(3)
+    records = []
+    for degree in (2, 8, 16):
+        for _ in range(3):
+            pat = make_pattern("uniform", net.mesh, degree, rng)
+            for scheme in ("mi-ma-ec", "ui-ua", "mi-ua-tm"):
+                plan = build_plan(scheme, net.mesh, pat.home, pat.sharers)
+                records.append(dataclasses.astuple(
+                    engine.run(plan, limit=5_000_000)))
+    return records, net.total_flit_hops, sim.dispatched
+
+
+@pytest.mark.parametrize("kernel", ["fast", "legacy"])
+def test_audit_levels_golden_identical(kernel):
+    """Auditing must not perturb the golden record stream on either
+    kernel: same records, flit hops, and dispatched-callback count at
+    every level, including the frozen reference."""
+    golden = run_record_stream(kernel)
+    assert run_audited_record_stream(kernel, "off") == golden
+    assert run_audited_record_stream(kernel, "cheap") == golden
+    assert run_audited_record_stream(kernel, "full") == golden
