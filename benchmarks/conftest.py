@@ -12,8 +12,26 @@ variable:
 """
 
 import os
+import tempfile
 
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache():
+    """Benchmarks time real simulations: point the sweep result cache
+    at a throwaway root so a warm ``.repro-cache/`` in the working tree
+    can never short-circuit a timed run."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = root
+        try:
+            yield root
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

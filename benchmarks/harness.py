@@ -16,6 +16,12 @@ suite at CI scale) on BOTH cycle-engine kernels — the optimized
   kernels must produce *identical* digests (bit-identical simulation),
   and the harness exits non-zero if they ever disagree.
 
+It also records a **parallel-scaling** section: the representative
+sweep timed at ``jobs=1`` vs ``jobs=N`` through
+:func:`repro.runner.run_jobs` (the shared process-pool scheduler every
+sweep entry point uses), plus a cold-vs-warm result-cache replay — all
+four paths must digest-match (``parallel.deterministic_match``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/harness.py            # full run
@@ -36,8 +42,8 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
 from datetime import datetime, timezone
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -74,7 +80,8 @@ def _wl_latency_vs_sharing(scale: str, kernel: str):
                    "mi-ma-ec", "mi-ma-ec-u", "mi-ma-tm"]
         degrees = [1, 2, 4, 8, 16, 32]
         per = 5
-    params = paper_parameters(8, kernel=kernel)
+    # result_cache off: a timing run must simulate, never replay.
+    params = paper_parameters(8, kernel=kernel, result_cache=False)
     return run_invalidation_sweep(schemes, degrees, per_degree=per,
                                   params=params, seed=11)
 
@@ -87,7 +94,7 @@ def _wl_column_traffic(scale: str, kernel: str):
     schemes = ["ui-ua", "mi-ua-ec", "mi-ma-ec"]
     degrees = [2, 8] if scale == "smoke" else [2, 8, 16]
     per = 1 if scale == "smoke" else 4
-    params = paper_parameters(8, kernel=kernel)
+    params = paper_parameters(8, kernel=kernel, result_cache=False)
     return run_invalidation_sweep(schemes, degrees, per_degree=per,
                                   params=params, kind="column", seed=7)
 
@@ -222,6 +229,79 @@ def bench_one(name: str, scale: str, repeats: int = 1) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Parallel sweep scaling + result-cache replay (the `parallel` section)
+# ----------------------------------------------------------------------
+def bench_parallel(scale: str, parallel_jobs: int = 0,
+                   measure_cache: bool = True) -> dict:
+    """Time the representative sweep serial vs parallel vs cached.
+
+    Four runs of the *same* config through the shared scheduler:
+    ``jobs=1`` (serial), ``jobs=N`` (process pool), a cold cached run
+    (simulate + store, into a throwaway cache root), and a warm replay
+    (pure cache hits).  All four merged row streams must digest-match;
+    wall-clock ratios land in ``BENCH_perf.json["parallel"]``.
+    """
+    from repro.analysis.experiments import run_invalidation_sweep
+    from repro.config import paper_parameters
+    from repro.runner import ResultCache, resolve_jobs
+
+    if scale == "smoke":
+        schemes = ["ui-ua", "mi-ua-ec", "mi-ma-ec", "mi-ma-tm"]
+        degrees = [2, 6]
+        per = 2
+    else:
+        schemes = ["ui-ua", "mi-ua-ec", "mi-ua-tm", "ui-ma-ec",
+                   "mi-ma-ec", "mi-ma-ec-u", "mi-ma-tm"]
+        degrees = [1, 2, 4, 8, 16]
+        per = 6  # chunky enough that pool startup can't mask scaling
+    params = paper_parameters(8)
+    jobs_n = resolve_jobs(parallel_jobs)
+
+    def timed(**kwargs):
+        start = time.perf_counter()
+        rows = run_invalidation_sweep(schemes, degrees, per_degree=per,
+                                      params=params, seed=11, **kwargs)
+        return time.perf_counter() - start, _digest(rows)
+
+    serial_wall, serial_digest = timed(jobs=1, use_cache=False)
+    parallel_wall, parallel_digest = timed(jobs=jobs_n, use_cache=False)
+    digests = {serial_digest, parallel_digest}
+    section = {
+        "cpu_count": os.cpu_count() or 1,
+        "jobs": jobs_n,
+        "sweep": {"schemes": schemes, "degrees": degrees,
+                  "per_degree": per},
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "parallel_speedup": (round(serial_wall / parallel_wall, 3)
+                             if parallel_wall > 0 else None),
+        "cache_measured": measure_cache,
+    }
+    if measure_cache:
+        with tempfile.TemporaryDirectory(prefix="repro-cache-") as root:
+            cache = ResultCache(root)
+            cold_wall, cold_digest = timed(jobs=1, use_cache=True,
+                                           cache=cache)
+            warm_wall, warm_digest = timed(jobs=1, use_cache=True,
+                                           cache=cache)
+            digests |= {cold_digest, warm_digest}
+            section.update({
+                "cache_cold_wall_s": round(cold_wall, 4),
+                "cache_warm_wall_s": round(warm_wall, 4),
+                "cache_replay_speedup": (round(cold_wall / warm_wall, 1)
+                                         if warm_wall > 0 else None),
+                "cache_entries": cache.info()["entries"],
+                "cache_hits": cache.hits,
+            })
+            if cache.hits != len(schemes):
+                raise RuntimeError(
+                    f"warm cache replay hit {cache.hits}/{len(schemes)} "
+                    f"jobs — the cache key is unstable across runs")
+    section["deterministic_match"] = len(digests) == 1
+    return section
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def main(argv=None) -> int:
@@ -236,7 +316,9 @@ def main(argv=None) -> int:
                         help="output JSON path (default: repo root)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel worker processes (default: one "
-                             "per workload, capped at CPU count)")
+                             "per workload, capped at CPU count; also "
+                             "the jobs=N width of the parallel-scaling "
+                             "section)")
     parser.add_argument("--workloads", default=None,
                         help="comma-separated subset of: "
                              + ", ".join(WORKLOADS))
@@ -246,6 +328,17 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless the representative workload's "
                              "fast-vs-legacy speedup reaches this factor")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the result-cache replay measurement "
+                             "of the parallel-scaling section")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="omit the parallel-scaling section "
+                             "entirely (kernel timings only)")
+    parser.add_argument("--min-parallel-speedup", type=float,
+                        default=None,
+                        help="fail unless the jobs=N sweep speedup "
+                             "reaches this factor (only enforced on "
+                             "machines with >= 4 cores)")
     args = parser.parse_args(argv)
 
     names = list(WORKLOADS)
@@ -262,13 +355,18 @@ def main(argv=None) -> int:
     print(f"[harness] {len(names)} workload(s) x {len(KERNELS)} kernels, "
           f"scale={scale}, jobs={jobs}, repeats={repeats}")
     started = time.perf_counter()
-    if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            entries = list(pool.map(bench_one, names,
-                                    [scale] * len(names),
-                                    [repeats] * len(names)))
-    else:
-        entries = [bench_one(name, scale, repeats) for name in names]
+    # Workload timings fan out through the shared sweep scheduler; no
+    # cache keys — a timing run is never replayed from disk.
+    from repro.runner import Job, run_jobs
+    entries = run_jobs([Job(fn=bench_one, args=(name, scale, repeats),
+                            label=f"bench:{name}") for name in names],
+                       workers=jobs)
+    parallel = None
+    if not args.skip_parallel:
+        print("[harness] parallel-scaling section "
+              "(serial vs pool vs cache replay)")
+        parallel = bench_parallel(scale, parallel_jobs=args.jobs or 0,
+                                  measure_cache=not args.no_cache)
     harness_wall = time.perf_counter() - started
 
     ok = True
@@ -281,10 +379,24 @@ def main(argv=None) -> int:
               f"speedup {entry['speedup']:5.2f}x  "
               f"{'bit-identical' if match else 'OUTPUT MISMATCH'}")
 
+    if parallel is not None:
+        ok = ok and parallel["deterministic_match"]
+        line = (f"[harness] parallel sweep: serial "
+                f"{parallel['serial_wall_s']:.3f}s  jobs="
+                f"{parallel['jobs']} {parallel['parallel_wall_s']:.3f}s  "
+                f"speedup {parallel['parallel_speedup']:.2f}x")
+        if parallel.get("cache_replay_speedup") is not None:
+            line += (f"  warm-cache replay "
+                     f"{parallel['cache_warm_wall_s']:.3f}s "
+                     f"({parallel['cache_replay_speedup']:g}x)")
+        print(line + ("  bit-identical"
+                      if parallel["deterministic_match"]
+                      else "  OUTPUT MISMATCH"))
+
     by_name = {e["workload"]: e for e in entries}
     representative = by_name.get(REPRESENTATIVE)
     payload = {
-        "schema": 1,
+        "schema": 2,
         "generated_by": "benchmarks/harness.py",
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
@@ -297,6 +409,7 @@ def main(argv=None) -> int:
                                    if representative else None),
         "all_deterministic": ok,
         "workloads": {e.pop("workload"): e for e in entries},
+        "parallel": parallel,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
@@ -312,6 +425,14 @@ def main(argv=None) -> int:
         print(f"[harness] FAIL: representative speedup "
               f"{representative['speedup']}x < {args.min_speedup}x",
               file=sys.stderr)
+        return 1
+    if (args.min_parallel_speedup is not None and parallel is not None
+            and parallel["cpu_count"] >= 4
+            and parallel["parallel_speedup"] < args.min_parallel_speedup):
+        print(f"[harness] FAIL: parallel sweep speedup "
+              f"{parallel['parallel_speedup']}x < "
+              f"{args.min_parallel_speedup}x on "
+              f"{parallel['cpu_count']} cores", file=sys.stderr)
         return 1
     return 0
 

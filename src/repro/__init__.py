@@ -14,7 +14,9 @@ Subpackages:
 * :mod:`repro.workloads` — synthetic patterns, Barnes-Hut, LU, APSP,
   background traffic;
 * :mod:`repro.analysis` — analytical models, experiment harness, tables,
-  and terminal figures.
+  and terminal figures;
+* :mod:`repro.runner` — parallel sweep executor (process-pool
+  ``run_jobs``) with a content-addressed on-disk result cache.
 
 Quick start::
 

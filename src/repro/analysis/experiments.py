@@ -2,6 +2,14 @@
 
 Each function returns plain row dicts so benchmarks and examples can
 print paper-style tables with :mod:`repro.analysis.tables`.
+
+The figure sweeps fan out across CPU cores through
+:func:`repro.runner.run_jobs` — one job per scheme, since each scheme
+runs on its own simulator instance — and replay unchanged configs from
+the content-addressed result cache.  ``jobs``/``use_cache`` arguments
+default to the :class:`SystemParameters` knobs; every decomposition is
+a pure function of the call arguments, so serial, parallel, and cached
+runs return bit-identical row lists (``tests/test_runner.py``).
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from repro.core.engine import InvalidationEngine
 from repro.core.grouping import SCHEMES, build_plan
 from repro.core.metrics import aggregate_records
 from repro.network import make_network
+from repro.runner import Job, params_key, resolve_execution, run_jobs
 from repro.sim import Simulator, Tally
 from repro.workloads.patterns import make_pattern
 
@@ -26,50 +35,83 @@ from repro.workloads.patterns import make_pattern
 # ----------------------------------------------------------------------
 # Invalidation microbenchmark sweeps (figures E4-E6, E9)
 # ----------------------------------------------------------------------
+def _draw_patterns(params: SystemParameters, degrees: Sequence[int],
+                   per_degree: int, kind: str, seed: int,
+                   home: Optional[int]) -> dict[int, list]:
+    """Pre-draw the shared pattern stream — a pure function of ``seed``,
+    so every scheme's job (in any process) sees identical sharer sets,
+    exactly as the historical single-loop implementation did."""
+    rng = np.random.default_rng(seed)
+    return {d: [make_pattern(kind, _mesh_of(params), d, rng, home=home)
+                for _ in range(per_degree)]
+            for d in degrees}
+
+
+def _invalidation_scheme_job(scheme: str, degrees: tuple[int, ...],
+                             per_degree: int, params: SystemParameters,
+                             kind: str, seed: int,
+                             home: Optional[int]) -> list[dict]:
+    """One sweep job: every degree for one scheme on a fresh simulator."""
+    patterns = _draw_patterns(params, degrees, per_degree, kind, seed, home)
+    routing = SCHEMES[scheme][1]
+    sim = Simulator()
+    net = make_network(sim, params, routing)
+    engine = InvalidationEngine(sim, net, params)
+    rows: list[dict] = []
+    for degree in degrees:
+        latency, messages = Tally("lat"), Tally("msg")
+        traffic, occupancy = Tally("hop"), Tally("occ")
+        for pattern in patterns[degree]:
+            plan = build_plan(scheme, net.mesh, pattern.home,
+                              pattern.sharers)
+            record = engine.run(plan, limit=5_000_000)
+            latency.add(record.latency)
+            messages.add(record.total_messages)
+            traffic.add(record.flit_hops)
+            occupancy.add(record.home_occupancy)
+        rows.append({
+            "scheme": scheme,
+            "degree": degree,
+            "latency": latency.mean,
+            "latency_max": latency.max,
+            "messages": messages.mean,
+            "flit_hops": traffic.mean,
+            "home_occupancy": occupancy.mean,
+        })
+    return rows
+
+
 def run_invalidation_sweep(schemes: Sequence[str], degrees: Sequence[int],
                            per_degree: int = 8,
                            params: Optional[SystemParameters] = None,
                            kind: str = "uniform", seed: int = 0,
-                           home: Optional[int] = None) -> list[dict]:
+                           home: Optional[int] = None,
+                           jobs: Optional[int] = None,
+                           use_cache: Optional[bool] = None,
+                           cache=None) -> list[dict]:
     """Measure the four performance measures per (scheme, degree).
 
     Each transaction runs on an otherwise idle network (the paper's
     microbenchmark methodology); patterns are shared across schemes so
-    the comparison is paired.
+    the comparison is paired.  ``jobs``/``use_cache`` override the
+    ``params.jobs`` / ``params.result_cache`` knobs (``jobs=0`` = one
+    worker per core); the merged row order is scheme-major and
+    bit-identical for every worker count and on cache replay.
     """
     params = params or paper_parameters()
-    # Pre-draw patterns once so every scheme sees identical sharer sets.
-    rng = np.random.default_rng(seed)
-    patterns = {d: [make_pattern(kind, _mesh_of(params), d, rng, home=home)
-                    for _ in range(per_degree)]
-                for d in degrees}
-    rows: list[dict] = []
-    for scheme in schemes:
-        routing = SCHEMES[scheme][1]
-        sim = Simulator()
-        net = make_network(sim, params, routing)
-        engine = InvalidationEngine(sim, net, params)
-        for degree in degrees:
-            latency, messages = Tally("lat"), Tally("msg")
-            traffic, occupancy = Tally("hop"), Tally("occ")
-            for pattern in patterns[degree]:
-                plan = build_plan(scheme, net.mesh, pattern.home,
-                                  pattern.sharers)
-                record = engine.run(plan, limit=5_000_000)
-                latency.add(record.latency)
-                messages.add(record.total_messages)
-                traffic.add(record.flit_hops)
-                occupancy.add(record.home_occupancy)
-            rows.append({
-                "scheme": scheme,
-                "degree": degree,
-                "latency": latency.mean,
-                "latency_max": latency.max,
-                "messages": messages.mean,
-                "flit_hops": traffic.mean,
-                "home_occupancy": occupancy.mean,
-            })
-    return rows
+    degrees = tuple(degrees)
+    workers, cache = resolve_execution(params, jobs, use_cache, cache)
+    job_list = [
+        Job(fn=_invalidation_scheme_job,
+            args=(scheme, degrees, per_degree, params, kind, seed, home),
+            key={"fn": "invalidation_sweep/scheme",
+                 "params": params_key(params), "scheme": scheme,
+                 "degrees": list(degrees), "per_degree": per_degree,
+                 "kind": kind, "seed": seed, "home": home},
+            label=f"sweep:{scheme}")
+        for scheme in schemes]
+    per_scheme = run_jobs(job_list, workers=workers, cache=cache)
+    return [row for rows in per_scheme for row in rows]
 
 
 def _mesh_of(params: SystemParameters):
@@ -77,36 +119,55 @@ def _mesh_of(params: SystemParameters):
     return Mesh2D(params.mesh_width, params.mesh_height)
 
 
+def _analytical_scheme_job(scheme: str, degrees: tuple[int, ...],
+                           per_degree: int, params: SystemParameters,
+                           kind: str, seed: int) -> list[dict]:
+    """Closed-form counterpart of :func:`_invalidation_scheme_job`."""
+    mesh = _mesh_of(params)
+    patterns = _draw_patterns(params, degrees, per_degree, kind, seed,
+                              home=None)
+    rows: list[dict] = []
+    for degree in degrees:
+        latency, messages, traffic = Tally("l"), Tally("m"), Tally("t")
+        for pattern in patterns[degree]:
+            plan = build_plan(scheme, mesh, pattern.home,
+                              pattern.sharers)
+            latency.add(estimate_latency(plan, params, mesh))
+            messages.add(plan_message_count(plan))
+            traffic.add(plan_traffic(plan, params, mesh))
+        rows.append({
+            "scheme": scheme,
+            "degree": degree,
+            "latency": latency.mean,
+            "messages": messages.mean,
+            "flit_hops": traffic.mean,
+        })
+    return rows
+
+
 def run_analytical_sweep(schemes: Sequence[str], degrees: Sequence[int],
                          per_degree: int = 8,
                          params: Optional[SystemParameters] = None,
-                         kind: str = "uniform", seed: int = 0) -> list[dict]:
+                         kind: str = "uniform", seed: int = 0,
+                         jobs: Optional[int] = None,
+                         use_cache: Optional[bool] = None,
+                         cache=None) -> list[dict]:
     """Analytical counterpart of :func:`run_invalidation_sweep`
     (identical pattern stream, closed-form measures)."""
     params = params or paper_parameters()
-    mesh = _mesh_of(params)
-    rng = np.random.default_rng(seed)
-    rows: list[dict] = []
-    patterns = {d: [make_pattern(kind, mesh, d, rng)
-                    for _ in range(per_degree)]
-                for d in degrees}
-    for scheme in schemes:
-        for degree in degrees:
-            latency, messages, traffic = Tally("l"), Tally("m"), Tally("t")
-            for pattern in patterns[degree]:
-                plan = build_plan(scheme, mesh, pattern.home,
-                                  pattern.sharers)
-                latency.add(estimate_latency(plan, params, mesh))
-                messages.add(plan_message_count(plan))
-                traffic.add(plan_traffic(plan, params, mesh))
-            rows.append({
-                "scheme": scheme,
-                "degree": degree,
-                "latency": latency.mean,
-                "messages": messages.mean,
-                "flit_hops": traffic.mean,
-            })
-    return rows
+    degrees = tuple(degrees)
+    workers, cache = resolve_execution(params, jobs, use_cache, cache)
+    job_list = [
+        Job(fn=_analytical_scheme_job,
+            args=(scheme, degrees, per_degree, params, kind, seed),
+            key={"fn": "analytical_sweep/scheme",
+                 "params": params_key(params), "scheme": scheme,
+                 "degrees": list(degrees), "per_degree": per_degree,
+                 "kind": kind, "seed": seed},
+            label=f"analytical:{scheme}")
+        for scheme in schemes]
+    per_scheme = run_jobs(job_list, workers=workers, cache=cache)
+    return [row for rows in per_scheme for row in rows]
 
 
 # ----------------------------------------------------------------------

@@ -50,17 +50,24 @@ def _app_configs(scale: str):
 
 
 def generate_report(scale: str = "ci", seed: int = 11,
-                    progress=None) -> str:
+                    progress=None, jobs=None, use_cache=None) -> str:
     """Run the full evaluation; returns the markdown report text.
 
     ``scale``: ``"ci"`` (default), ``"paper"``, or ``"smoke"`` — the
     last runs a seconds-long miniature of everything, for tests.
+    ``jobs``/``use_cache`` are forwarded to the sweep runners
+    (:mod:`repro.runner`): ``jobs=0`` fans each sweep across every
+    core, and a warm result cache makes a repeat report near-free.
     """
     if scale not in ("ci", "paper", "smoke"):
         raise ValueError("scale must be 'ci', 'paper', or 'smoke'")
     say = progress or (lambda msg: None)
     width = {"smoke": 4, "ci": 8, "paper": 16}[scale]
     params = paper_parameters(width)
+    if jobs is not None:
+        params = params.evolve(jobs=jobs)
+    if use_cache is not None:
+        params = params.evolve(result_cache=use_cache)
     degrees = sorted({min(d, params.num_nodes - 1)
                       for d in (1, 2, 4, 8, 16, 32)})
     parts: list[str] = [

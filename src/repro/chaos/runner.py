@@ -10,16 +10,51 @@ deterministically.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Callable, Optional
 
 from repro.chaos.bundle import make_bundle, write_bundle
-from repro.chaos.scenario import generate_scenario, run_scenario
+from repro.chaos.scenario import (ChaosResult, ChaosScenario,
+                                  generate_scenario, run_scenario)
 from repro.chaos.shrink import shrink
+from repro.runner import Job, run_jobs
 
 
 def _slug(signature: str) -> str:
     return "".join(c if c.isalnum() else "-" for c in signature).strip("-")
+
+
+def _scenario_job(scenario: ChaosScenario, audit: str) -> dict:
+    """Worker/cache entry: run one scenario, return its classified
+    outcome as plain data (the scenario itself is reattached by the
+    parent, keeping cache entries small)."""
+    result = run_scenario(scenario, audit=audit)
+    state = dataclasses.asdict(result)
+    del state["scenario"]
+    state["trail"] = list(state["trail"])
+    return state
+
+
+def _soak_results(scenarios: list[ChaosScenario], audit: str,
+                  checker: Optional[Callable], jobs: int,
+                  cache) -> list[ChaosResult]:
+    """Classify every scenario — fanned out and cache-replayed through
+    :mod:`repro.runner` except when a custom ``checker`` is attached
+    (an arbitrary callable can be neither pickled to a worker nor
+    hashed into a cache key, so those soaks stay serial and fresh)."""
+    if checker is not None:
+        return [run_scenario(s, audit=audit, checker=checker)
+                for s in scenarios]
+    job_list = [
+        Job(fn=_scenario_job, args=(scenario, audit),
+            key={"fn": "chaos/scenario", "scenario": scenario.to_dict(),
+                 "audit": audit},
+            label=f"chaos:seed{scenario.seed}")
+        for scenario in scenarios]
+    states = run_jobs(job_list, workers=jobs, cache=cache)
+    return [ChaosResult(scenario=scenario, **dict(state, trail=tuple(
+        state["trail"]))) for scenario, state in zip(scenarios, states)]
 
 
 def run_chaos(seeds: int, *, smoke: bool = False, audit: str = "full",
@@ -27,21 +62,39 @@ def run_chaos(seeds: int, *, smoke: bool = False, audit: str = "full",
               mutation: Optional[str] = None,
               checker: Optional[Callable] = None,
               max_shrink_runs: int = 48,
-              log: Callable[[str], None] = lambda msg: None) -> dict:
+              log: Callable[[str], None] = lambda msg: None,
+              jobs: int = 1, use_cache: bool = False,
+              cache=None) -> dict:
     """Soak ``seeds`` scenarios; returns a summary dict.
 
     Summary keys: ``seeds``, ``passed``, ``failed``, ``expected_txn_
     failures`` (typed fault outcomes, not bugs), ``violations`` (audited
     transactions never tripped an invariant), and ``bundles`` (paths of
     repro bundles written for failing seeds, one per failure).
+
+    ``jobs`` fans the scenario runs across worker processes (``0`` =
+    one per core); shrinking and bundle writing stay in the parent, in
+    seed order, so output is deterministic for any worker count.  The
+    result cache is *opt-in* here (``use_cache=True``): a soak's job is
+    to re-test the current code, and although the cache fingerprint
+    does invalidate on any source change, a fresh run is the
+    conservative default for a bug-hunting loop.
     """
+    from repro.runner import default_cache
+
+    if use_cache and cache is None:
+        cache = default_cache()
+    elif not use_cache:
+        cache = None
+    scenarios = [generate_scenario(base_seed + i, smoke=smoke,
+                                   mutation=mutation)
+                 for i in range(seeds)]
+    results = _soak_results(scenarios, audit, checker, jobs, cache)
+
     passed = failed = expected = 0
     bundles: list[str] = []
     signatures: list[str] = []
-    for i in range(seeds):
-        scenario = generate_scenario(base_seed + i, smoke=smoke,
-                                     mutation=mutation)
-        result = run_scenario(scenario, audit=audit, checker=checker)
+    for scenario, result in zip(scenarios, results):
         if result.ok:
             passed += 1
             expected += result.expected_failures

@@ -3,8 +3,8 @@
 Commands:
 
 * ``info`` — print the parameter set for a mesh size;
-* ``sweep`` — invalidation-cost sweep over schemes and degrees
-  (simulated, or closed-form with ``--analytical``);
+* ``sweep`` (alias ``figs``) — invalidation-cost sweep over schemes and
+  degrees (simulated, or closed-form with ``--analytical``);
 * ``app`` — run an application (barnes-hut / lu / apsp) under a scheme;
 * ``tables`` — regenerate the paper's Table 4 / Table 5;
 * ``report`` — run the full evaluation into a markdown report;
@@ -14,7 +14,13 @@ Commands:
 * ``chaos`` — soak seeded chaos scenarios under ``full`` invariant
   auditing; failures are shrunk into JSON repro bundles;
 * ``replay`` — re-run a repro bundle deterministically and check that
-  its failure signature reproduces.
+  its failure signature reproduces;
+* ``cache`` — inspect (``info``) or wipe (``clear``) the
+  content-addressed sweep result cache under ``.repro-cache/``.
+
+The sweep-shaped commands (``sweep``/``figs``, ``report``, ``faults``,
+``chaos``) all accept ``--jobs N`` (``0`` = one worker process per CPU
+core) and ``--no-cache`` — see :mod:`repro.runner`.
 """
 
 from __future__ import annotations
@@ -29,8 +35,18 @@ from repro.analysis import (format_table, miss_latency_micro,
                             run_application_experiment,
                             run_invalidation_sweep)
 from repro.analysis.experiments import run_analytical_sweep
-from repro.config import paper_parameters
+from repro.config import ConfigError, paper_parameters
 from repro.core.grouping import SCHEMES
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared sweep-execution knobs (see :mod:`repro.runner`)."""
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep (0 = one "
+                             "per CPU core; default: serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not populate the result "
+                             "cache (.repro-cache/)")
 
 
 def _csv_ints(text: str) -> list[int]:
@@ -67,7 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("--mesh", type=int, default=8,
                         help="mesh width (square)")
 
-    p_sweep = sub.add_parser("sweep", help="invalidation-cost sweep")
+    p_sweep = sub.add_parser("sweep", aliases=["figs"],
+                             help="invalidation-cost sweep (alias: "
+                                  "figs)")
     p_sweep.add_argument("--schemes", type=_csv_strs,
                          default=["ui-ua", "mi-ua-ec", "mi-ma-ec"],
                          help="comma-separated scheme names")
@@ -80,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--analytical", action="store_true",
                          help="closed-form estimates instead of simulation")
+    _add_execution_flags(p_sweep)
 
     p_app = sub.add_parser("app", help="run an application on the DSM")
     p_app.add_argument("--name", required=True,
@@ -101,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output markdown file")
     p_report.add_argument("--scale", default="ci", choices=["ci", "paper"])
     p_report.add_argument("--seed", type=int, default=11)
+    _add_execution_flags(p_report)
 
     p_faults = sub.add_parser(
         "faults", help="chaos sweep: recovery under faults")
@@ -129,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--detour-limit", type=int, default=8,
                           help="misroute budget per worm under "
                                "--fault-aware (0 = prune-only)")
+    _add_execution_flags(p_faults)
 
     p_chaos = sub.add_parser(
         "chaos", help="soak seeded chaos scenarios under full auditing")
@@ -149,6 +170,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "catch/shrink/replay pipeline)")
     p_chaos.add_argument("--max-shrink-runs", type=int, default=48,
                          help="shrink budget per failing scenario")
+    p_chaos.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the soak (0 = one "
+                              "per CPU core; default: serial)")
+    p_chaos.add_argument("--cache", action="store_true", dest="use_cache",
+                         help="replay already-soaked seeds from the "
+                              "result cache (fresh runs are the "
+                              "default for a bug hunt)")
+    p_chaos.add_argument("--no-cache", action="store_true",
+                         help="force fresh runs (the default; present "
+                              "for symmetry with the other sweeps)")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the sweep result cache")
+    p_cache.add_argument("action", choices=["info", "clear"],
+                         help="'info' prints the root, entry count, and "
+                              "total bytes; 'clear' removes every entry")
+    p_cache.add_argument("--dir", default=None,
+                         help="cache root (default: $REPRO_CACHE_DIR "
+                              "or .repro-cache/)")
 
     p_replay = sub.add_parser(
         "replay", help="re-run a chaos repro bundle")
@@ -182,6 +222,16 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _execution_params(args, **overrides):
+    """``paper_parameters`` with the ``--jobs``/``--no-cache`` flags
+    folded in (so validation raises the usual :class:`ConfigError`)."""
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.no_cache:
+        overrides["result_cache"] = False
+    return paper_parameters(args.mesh, **overrides)
+
+
 def cmd_sweep(args) -> int:
     """``repro sweep``: invalidation-cost sweep (simulated/analytical)."""
     for scheme in args.schemes:
@@ -189,7 +239,11 @@ def cmd_sweep(args) -> int:
             print(f"unknown scheme {scheme!r}; choose from "
                   f"{sorted(SCHEMES)}", file=sys.stderr)
             return 2
-    params = paper_parameters(args.mesh)
+    try:
+        params = _execution_params(args)
+    except ConfigError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
     runner = run_analytical_sweep if args.analytical \
         else run_invalidation_sweep
     rows = runner(args.schemes, args.degrees, per_degree=args.per_degree,
@@ -248,7 +302,9 @@ def cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
     text = generate_report(scale=args.scale, seed=args.seed,
-                           progress=lambda msg: print(f"[report] {msg}"))
+                           progress=lambda msg: print(f"[report] {msg}"),
+                           jobs=args.jobs,
+                           use_cache=False if args.no_cache else None)
     with open(args.out, "w") as fh:
         fh.write(text)
     print(f"wrote {args.out} ({len(text.splitlines())} lines)")
@@ -264,9 +320,13 @@ def cmd_faults(args) -> int:
             print(f"unknown scheme {scheme!r}; choose from "
                   f"{sorted(SCHEMES)}", file=sys.stderr)
             return 2
-    params = paper_parameters(args.mesh,
-                              fault_aware_routing=args.fault_aware,
-                              detour_limit=args.detour_limit)
+    try:
+        params = _execution_params(
+            args, fault_aware_routing=args.fault_aware,
+            detour_limit=args.detour_limit)
+    except ConfigError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
     try:
         rows = run_fault_sweep(args.schemes, args.drop_probs,
                                degree=args.degree, per_point=args.per_point,
@@ -299,11 +359,17 @@ def cmd_chaos(args) -> int:
         print(f"unknown mutation {args.mutation!r}; choose from "
               f"{sorted(MUTATIONS)}", file=sys.stderr)
         return 2
-    summary = run_chaos(args.seeds, smoke=args.smoke, audit=args.audit,
-                        out_dir=args.out_dir, base_seed=args.base_seed,
-                        mutation=args.mutation,
-                        max_shrink_runs=args.max_shrink_runs,
-                        log=lambda msg: print(f"[chaos] {msg}"))
+    try:
+        summary = run_chaos(args.seeds, smoke=args.smoke, audit=args.audit,
+                            out_dir=args.out_dir, base_seed=args.base_seed,
+                            mutation=args.mutation,
+                            max_shrink_runs=args.max_shrink_runs,
+                            log=lambda msg: print(f"[chaos] {msg}"),
+                            jobs=1 if args.jobs is None else args.jobs,
+                            use_cache=args.use_cache and not args.no_cache)
+    except ConfigError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
     print(f"chaos soak: {summary['passed']}/{summary['seeds']} passed, "
           f"{summary['failed']} failed "
           f"({summary['expected_txn_failures']} expected transaction "
@@ -350,6 +416,23 @@ def cmd_replay(args) -> int:
     return 1
 
 
+def cmd_cache(args) -> int:
+    """``repro cache``: inspect or wipe the sweep result cache."""
+    from repro.runner import ResultCache
+
+    cache = ResultCache(args.dir)
+    if args.action == "info":
+        info = cache.info()
+        print(f"cache root: {info['root']}")
+        print(f"entries:    {info['entries']}")
+        print(f"bytes:      {info['bytes']}")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} cache entr"
+          f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+    return 0
+
+
 def cmd_worms(args) -> int:
     """``repro worms``: ASCII-draw a scheme's worm paths."""
     from repro.brcp.model import conformant_walk
@@ -387,6 +470,7 @@ def cmd_worms(args) -> int:
 _COMMANDS = {
     "info": cmd_info,
     "sweep": cmd_sweep,
+    "figs": cmd_sweep,
     "app": cmd_app,
     "tables": cmd_tables,
     "report": cmd_report,
@@ -394,6 +478,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "chaos": cmd_chaos,
     "replay": cmd_replay,
+    "cache": cmd_cache,
 }
 
 

@@ -14,8 +14,16 @@ hardware measurements (Table 5).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import Any
+
+
+def max_jobs() -> int:
+    """Upper bound accepted for the ``jobs`` knob on this machine: the
+    CPU count, floored at 8 so small containers can still oversubscribe
+    (the jobs=1-vs-jobs=4 determinism tests run everywhere)."""
+    return max(os.cpu_count() or 1, 8)
 
 
 class ConfigError(ValueError):
@@ -169,6 +177,21 @@ class SystemParameters:
     #: variable can raise (never lower) the effective level.
     audit: str = "off"
 
+    # ------------------------------------------------------------------
+    # Sweep execution (these two knobs select *how* sweeps run, never
+    # what they compute — results are bit-identical for every setting,
+    # and they are excluded from result-cache keys)
+    # ------------------------------------------------------------------
+    #: Worker processes for sweep entry points (``run_invalidation_
+    #: sweep``, ``run_fault_sweep``, ``run_chaos``, the perf harness):
+    #: ``1`` = in-process serial, ``N`` = a process pool of N, and the
+    #: sentinel ``0`` = one worker per CPU core.
+    jobs: int = 1
+    #: Consult/populate the content-addressed result cache under
+    #: ``.repro-cache/`` (see :mod:`repro.runner.cache`); ``False``
+    #: forces every config to re-simulate (the CLI ``--no-cache``).
+    result_cache: bool = True
+
     def __post_init__(self) -> None:
         if self.mesh_width < 1 or self.mesh_height < 1:
             raise ConfigError("mesh dimensions must be >= 1")
@@ -216,6 +239,11 @@ class SystemParameters:
             raise ConfigError("kernel must be 'fast' or 'legacy'")
         if self.audit not in ("off", "cheap", "full"):
             raise ConfigError("audit must be 'off', 'cheap', or 'full'")
+        if self.jobs < 0:
+            raise ConfigError("jobs must be >= 0 (0 = one per CPU core)")
+        if self.jobs > max_jobs():
+            raise ConfigError(f"jobs must be <= {max_jobs()} on this "
+                              f"machine (0 = auto)")
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -15,6 +15,10 @@ the recovery protocol holds up:
   to the same scheme and pattern stream on a fault-free mesh.
 
 Backs ``repro faults`` and ``benchmarks/bench_fault_recovery.py``.
+Grid points are independent simulations, so the sweep fans them out
+through :func:`repro.runner.run_jobs` — one job per (scheme, drop
+probability) point — and replays unchanged points from the result
+cache; the merged row stream is bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from repro.core.engine import InvalidationEngine
 from repro.core.grouping import SCHEMES, build_plan
 from repro.faults.plan import FaultPlan, TransactionFailed
 from repro.network import make_network
+from repro.runner import Job, params_key, resolve_execution, run_jobs
 from repro.sim import Simulator, Tally
 from repro.workloads.patterns import make_pattern
 
@@ -37,7 +42,10 @@ def run_fault_sweep(schemes: Sequence[str], drop_probs: Sequence[float],
                     params: Optional[SystemParameters] = None,
                     link_faults: int = 0, router_faults: int = 0,
                     kind: str = "uniform", seed: int = 0,
-                    fault_aware: bool = False) -> list[dict]:
+                    fault_aware: bool = False,
+                    jobs: Optional[int] = None,
+                    use_cache: Optional[bool] = None,
+                    cache=None) -> list[dict]:
     """Row dicts for every (scheme, drop probability) grid point.
 
     ``link_faults``/``router_faults`` add that many permanent random
@@ -46,6 +54,8 @@ def run_fault_sweep(schemes: Sequence[str], drop_probs: Sequence[float],
     comparison is paired; everything is a pure function of ``seed``.
     ``fault_aware=True`` routes every point with the scheme's ``+ft``
     fault-aware routing (reroute before downgrade).
+    ``jobs``/``use_cache`` override ``params.jobs`` /
+    ``params.result_cache`` (``jobs=0`` = one worker per core).
     """
     params = params or paper_parameters()
     if fault_aware and not params.fault_aware_routing:
@@ -54,29 +64,51 @@ def run_fault_sweep(schemes: Sequence[str], drop_probs: Sequence[float],
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; "
                              f"choose from {sorted(SCHEMES)}")
-    rng = np.random.default_rng(seed)
+    workers, cache = resolve_execution(params, jobs, use_cache, cache)
+    grid = [(scheme, prob) for scheme in schemes for prob in drop_probs]
+    job_list = [
+        Job(fn=_fault_point_job,
+            args=(scheme, prob, degree, per_point, params, link_faults,
+                  router_faults, kind, seed),
+            key={"fn": "fault_sweep/point", "params": params_key(params),
+                 "scheme": scheme, "drop_prob": prob, "degree": degree,
+                 "per_point": per_point, "link_faults": link_faults,
+                 "router_faults": router_faults, "kind": kind,
+                 "seed": seed},
+            label=f"faults:{scheme}@{prob:g}")
+        for scheme, prob in grid]
+    rows = run_jobs(job_list, workers=workers, cache=cache)
+    # Latency inflation is relative to the scheme's fault-free point —
+    # a cross-point measure, so it is derived at merge time (preserving
+    # the historical iteration-order semantics: points before the
+    # prob==0 entry have no baseline and report NaN).
+    baseline: dict[str, float] = {}
+    for row in rows:
+        if row["drop_prob"] == 0:
+            baseline[row["scheme"]] = row["latency"]
+        base = baseline.get(row["scheme"])
+        row["latency_x"] = (row["latency"] / base
+                            if base and row["latency"] else float("nan"))
+    return rows
+
+
+def _fault_point_job(scheme: str, prob: float, degree: int,
+                     per_point: int, params: SystemParameters,
+                     link_faults: int, router_faults: int, kind: str,
+                     seed: int) -> dict:
+    """One grid point, reconstructing the shared pattern stream (a pure
+    function of ``seed``) and its seeded fault plan in-process."""
     from repro.network.topology import Mesh2D
     mesh = Mesh2D(params.mesh_width, params.mesh_height)
+    rng = np.random.default_rng(seed)
     patterns = [make_pattern(kind, mesh, degree, rng)
                 for _ in range(per_point)]
-
-    rows: list[dict] = []
-    baseline: dict[str, float] = {}
-    for scheme in schemes:
-        for prob in drop_probs:
-            plan = None
-            if prob > 0:
-                plan = FaultPlan.random(
-                    mesh, seed=seed, link_faults=link_faults,
-                    router_faults=router_faults, drop_prob=prob)
-            row = _run_point(scheme, prob, plan, patterns, params)
-            if prob == 0:
-                baseline[scheme] = row["latency"]
-            base = baseline.get(scheme)
-            row["latency_x"] = (row["latency"] / base
-                                if base and row["latency"] else float("nan"))
-            rows.append(row)
-    return rows
+    plan = None
+    if prob > 0:
+        plan = FaultPlan.random(
+            mesh, seed=seed, link_faults=link_faults,
+            router_faults=router_faults, drop_prob=prob)
+    return _run_point(scheme, prob, plan, patterns, params)
 
 
 def _run_point(scheme: str, prob: float, fault_plan: Optional[FaultPlan],

@@ -1,0 +1,38 @@
+"""Shared parallel-execution subsystem for sweeps and soaks.
+
+``repro.runner`` is the one place independent simulation configs get
+fanned out across cores and replayed from a content-addressed on-disk
+cache.  All four sweep consumers route through it:
+
+* :func:`repro.analysis.experiments.run_invalidation_sweep` and
+  :func:`~repro.analysis.experiments.run_analytical_sweep` (one job per
+  scheme);
+* :func:`repro.faults.sweep.run_fault_sweep` (one job per grid point);
+* :func:`repro.chaos.runner.run_chaos` (one job per scenario seed);
+* ``benchmarks/harness.py`` (one job per workload, plus the
+  parallel-scaling section of ``BENCH_perf.json``).
+
+See :mod:`repro.runner.jobs` for the determinism contract and
+:mod:`repro.runner.cache` for the cache-key layout and invalidation
+rules (also documented in ``docs/PERFORMANCE.md``).
+"""
+
+from repro.runner.cache import (CACHE_SCHEMA, MISS, ResultCache,
+                                code_fingerprint, default_cache,
+                                key_digest, params_key)
+from repro.runner.jobs import (Job, resolve_execution, resolve_jobs,
+                               run_jobs)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "Job",
+    "MISS",
+    "ResultCache",
+    "code_fingerprint",
+    "default_cache",
+    "key_digest",
+    "params_key",
+    "resolve_execution",
+    "resolve_jobs",
+    "run_jobs",
+]

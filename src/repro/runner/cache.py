@@ -1,0 +1,238 @@
+"""Content-addressed on-disk result cache for sweep jobs.
+
+Every independent simulation config (frozen :class:`SystemParameters`
+plus workload/pattern seeds and scheme) is reduced to a canonical JSON
+*cache key*; the SHA-256 of that key addresses a pickle file under the
+cache root (``.repro-cache/`` by default, overridable with the
+``REPRO_CACHE_DIR`` environment variable).  A key always embeds the
+*code fingerprint* — the installed package version plus a digest of
+every ``repro`` source file — so any code change, however small,
+invalidates the whole cache rather than ever replaying stale results.
+
+Invalidation rules (any of these forces a re-simulation):
+
+* any :class:`~repro.config.SystemParameters` field changes, including
+  ``kernel`` — *except* the execution-only knobs ``jobs`` and
+  ``result_cache``, which cannot affect simulation output;
+* the workload description changes (scheme, degrees, seeds, pattern
+  kind, fault-plan parameters, scenario fields, ...);
+* any file under ``src/repro`` changes (source digest), or the package
+  version is bumped.
+
+Entries are written atomically (temp file + :func:`os.replace`) by the
+*parent* process only, so concurrent sweep workers never race on the
+cache; corrupt or unreadable entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Optional
+
+#: Bumped whenever the on-disk entry layout changes; part of every key.
+CACHE_SCHEMA = 1
+
+#: Sentinel distinguishing "miss" from a cached ``None`` result.
+_MISS = object()
+
+#: SystemParameters fields that select *how* a sweep executes, not what
+#: it computes — excluded from cache keys so ``jobs=1`` and ``jobs=8``
+#: runs of the same config share entries.
+EXECUTION_ONLY_FIELDS = frozenset({"jobs", "result_cache"})
+
+_fingerprint_memo: Optional[dict] = None
+
+
+def _source_digest() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents)."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    blob = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            blob.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as fh:
+                blob.update(fh.read())
+    return blob.hexdigest()
+
+
+def code_fingerprint() -> dict:
+    """The code identity embedded in every cache key (memoized).
+
+    ``{"package", "version", "source_digest", "cache_schema"}`` — the
+    source digest covers every ``.py`` file in the installed ``repro``
+    package, so *any* code edit invalidates all cached results.
+    """
+    global _fingerprint_memo
+    if _fingerprint_memo is None:
+        import repro
+
+        _fingerprint_memo = {
+            "package": "repro",
+            "version": repro.__version__,
+            "source_digest": _source_digest(),
+            "cache_schema": CACHE_SCHEMA,
+        }
+    return _fingerprint_memo
+
+
+def params_key(params) -> dict:
+    """A :class:`SystemParameters` as cache-key material.
+
+    All simulation-relevant fields, in field order, with the
+    execution-only knobs (:data:`EXECUTION_ONLY_FIELDS`) removed.
+    """
+    return {f.name: getattr(params, f.name)
+            for f in dataclasses.fields(params)
+            if f.name not in EXECUTION_ONLY_FIELDS}
+
+
+def key_digest(key: dict) -> str:
+    """Canonical SHA-256 of a JSON-able cache key (plus fingerprint)."""
+    material = {"fingerprint": code_fingerprint(), "key": key}
+    text = json.dumps(material, sort_keys=True, separators=(",", ":"),
+                      default=_json_default)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _json_default(value):
+    """Allow numpy scalars and similar in keys without importing numpy."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"cache keys must be JSON-able, got "
+                    f"{type(value).__name__}: {value!r}")
+
+
+class ResultCache:
+    """Digest-addressed pickle store under a single root directory.
+
+    Layout: ``<root>/objects/<digest[:2]>/<digest>.pkl`` — each entry a
+    pickle of ``{"cache_schema", "key", "result"}``.  Results round-trip
+    through :mod:`pickle`, so replays are *bit-identical* to the fresh
+    run (numpy scalar types and all).  The instance counts ``hits``,
+    ``misses``, and ``stores`` for reporting.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = os.path.abspath(
+            root or os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- addressing ----------------------------------------------------
+    def digest(self, key: dict) -> str:
+        return key_digest(key)
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, "objects", digest[:2],
+                            f"{digest}.pkl")
+
+    # -- read / write --------------------------------------------------
+    def load(self, digest: str, key: Optional[dict] = None) -> Any:
+        """The cached result for ``digest``, or :data:`MISS`.
+
+        When ``key`` is given, the stored key must match it exactly
+        (guards against digest-construction bugs); mismatches and
+        corrupt entries are dropped and reported as misses.
+        """
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if entry.get("cache_schema") != CACHE_SCHEMA:
+                raise ValueError("cache schema mismatch")
+            if key is not None and entry.get("key") != _roundtrip(key):
+                raise ValueError("cache key mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return _MISS
+        except Exception:
+            # Corrupt, truncated, or foreign entry: purge and miss.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return _MISS
+        self.hits += 1
+        return entry["result"]
+
+    def store(self, digest: str, key: dict, result: Any) -> None:
+        """Atomically persist ``result`` under ``digest``."""
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"cache_schema": CACHE_SCHEMA, "key": _roundtrip(key),
+                 "result": result}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # -- maintenance ---------------------------------------------------
+    def _entries(self) -> list[str]:
+        objects = os.path.join(self.root, "objects")
+        found: list[str] = []
+        if not os.path.isdir(objects):
+            return found
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            found.extend(os.path.join(dirpath, name)
+                         for name in filenames if name.endswith(".pkl"))
+        return sorted(found)
+
+    def info(self) -> dict:
+        """``{"root", "entries", "bytes"}`` for ``repro cache info``."""
+        paths = self._entries()
+        total = 0
+        for path in paths:
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return {"root": self.root, "entries": len(paths), "bytes": total}
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        paths = self._entries()
+        for path in paths:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        return len(paths)
+
+
+#: Public miss sentinel (``cache.load(...) is MISS``).
+MISS = _MISS
+
+
+def _roundtrip(key: dict) -> dict:
+    """Keys compare after a JSON round-trip (tuples become lists, numpy
+    scalars become plain numbers) so stored/fresh forms always match."""
+    return json.loads(json.dumps(key, sort_keys=True,
+                                 default=_json_default))
+
+
+def default_cache() -> ResultCache:
+    """The process-default cache (root from ``REPRO_CACHE_DIR`` or
+    ``.repro-cache/`` under the current directory)."""
+    return ResultCache()

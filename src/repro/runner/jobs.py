@@ -1,0 +1,140 @@
+"""The parallel sweep scheduler: fan independent configs across cores.
+
+Every figure, fault, and chaos sweep in this repository is a list of
+*independent* simulation configs — the embarrassingly-parallel shape
+DASH/FLASH-era evaluations farmed out across machines.  :func:`run_jobs`
+executes such a list with three guarantees:
+
+* **Deterministic merge order.**  Results come back in submission
+  order, whatever the worker count or completion order.
+* **Bit-identical outputs.**  Each :class:`Job` is a pure function of
+  its arguments, so ``workers=1`` and ``workers=N`` produce the exact
+  same result objects; the golden tests in ``tests/test_runner.py``
+  digest-compare the merged streams to prove it.
+* **Content-addressed caching.**  A job that carries a ``key`` is
+  looked up in a :class:`~repro.runner.cache.ResultCache` first; hits
+  skip the simulation entirely and replay the pickled result
+  bit-identically.  Cache writes happen only in the parent process,
+  after the pool has returned, so workers never contend on disk.
+
+Jobs must be *picklable*: ``fn`` a module-level callable, arguments
+plain data.  The pool uses :class:`concurrent.futures.ProcessPoolExecutor`
+with the platform default start method (``fork`` on Linux, so workers
+inherit ``sys.path`` and loaded modules at near-zero cost).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.config import ConfigError, max_jobs
+from repro.runner.cache import MISS, ResultCache, default_cache
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent unit of sweep work.
+
+    ``fn(*args, **kwargs)`` must be a pure, picklable computation.
+    ``key`` is the JSON-able cache-key material (``None`` = never
+    cached — e.g. wall-clock timing runs).  ``label`` is only for
+    progress reporting.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    key: Optional[dict] = None
+    label: str = ""
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Effective worker count for a ``jobs`` knob (``0`` = one per CPU
+    core).  Raises :class:`ConfigError` on out-of-range values, exactly
+    like :class:`~repro.config.SystemParameters` field validation."""
+    if jobs < 0:
+        raise ConfigError("jobs must be >= 0 (0 = one worker per core)")
+    if jobs > max_jobs():
+        raise ConfigError(f"jobs must be <= {max_jobs()} on this "
+                          f"machine (0 = auto)")
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
+
+
+def resolve_execution(params, jobs: Optional[int] = None,
+                      use_cache: Optional[bool] = None,
+                      cache: Optional[ResultCache] = None
+                      ) -> tuple[int, Optional[ResultCache]]:
+    """``(workers, cache-or-None)`` for a sweep entry point.
+
+    Explicit ``jobs``/``use_cache`` arguments win; ``None`` falls back
+    to the :class:`SystemParameters` knobs (``params.jobs`` /
+    ``params.result_cache``).  A disabled cache returns ``None`` so
+    :func:`run_jobs` skips lookups entirely.
+    """
+    workers = params.jobs if jobs is None else jobs
+    caching = params.result_cache if use_cache is None else use_cache
+    if not caching:
+        return workers, None
+    return workers, (cache if cache is not None else default_cache())
+
+
+def _execute(job: Job) -> Any:
+    """Worker entry point (module-level so it pickles by reference)."""
+    return job.fn(*job.args, **job.kwargs)
+
+
+def run_jobs(jobs: Sequence[Job], workers: int = 1,
+             cache: Optional[ResultCache] = None,
+             progress: Optional[Callable[[str], None]] = None) -> list:
+    """Execute ``jobs``; returns their results in submission order.
+
+    ``workers`` follows the :class:`SystemParameters.jobs` convention
+    (``0`` = one per core; validated through :func:`resolve_jobs`).
+    ``cache=None`` disables caching; pass a
+    :class:`~repro.runner.cache.ResultCache` (e.g.
+    :func:`~repro.runner.cache.default_cache`) to reuse and persist
+    results.  ``progress`` receives one short line per job as results
+    land, always in submission order.
+    """
+    workers = resolve_jobs(workers)
+    jobs = list(jobs)
+    results: list[Any] = [None] * len(jobs)
+
+    # Phase 1: cache lookups (parent process, submission order).
+    pending: list[int] = []
+    digests: dict[int, str] = {}
+    for i, job in enumerate(jobs):
+        if cache is not None and job.key is not None:
+            digest = cache.digest(job.key)
+            digests[i] = digest
+            hit = cache.load(digest, job.key)
+            if hit is not MISS:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    # Phase 2: run the misses — serial for one worker (or one job), a
+    # process pool otherwise.  ``pool.map`` preserves submission order.
+    if pending:
+        if workers <= 1 or len(pending) == 1:
+            fresh = [_execute(jobs[i]) for i in pending]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending))) as pool:
+                fresh = list(pool.map(_execute,
+                                      [jobs[i] for i in pending]))
+        for i, result in zip(pending, fresh):
+            results[i] = result
+            if cache is not None and i in digests:
+                cache.store(digests[i], jobs[i].key, result)
+
+    if progress is not None:
+        hit_set = set(digests) - set(pending)
+        for i, job in enumerate(jobs):
+            tag = "cache hit" if i in hit_set else "ran"
+            progress(f"[{i + 1}/{len(jobs)}] "
+                     f"{job.label or job.fn.__name__}: {tag}")
+    return results

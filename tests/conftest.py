@@ -7,9 +7,28 @@ counterexamples with fresh randomness.
 """
 
 import os
+import tempfile
 
+import pytest
 from hypothesis import settings
 
 settings.register_profile("repro", derandomize=True, deadline=None)
 settings.register_profile("explore", deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache():
+    """Point the sweep result cache (repro.runner.cache) at a session
+    temp directory so tests never read or write the developer's
+    ``.repro-cache/`` in the working tree."""
+    with tempfile.TemporaryDirectory(prefix="repro-test-cache-") as root:
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = root
+        try:
+            yield root
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous

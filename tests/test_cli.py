@@ -41,6 +41,60 @@ def test_sweep_rejects_bad_scheme(capsys):
     assert code == 2
 
 
+def test_figs_alias_with_jobs_and_no_cache(capsys):
+    code, out = run_cli(capsys, "figs", "--schemes", "ui-ua",
+                        "--degrees", "2", "--per-degree", "2",
+                        "--mesh", "4", "--jobs", "2", "--no-cache")
+    assert code == 0
+    assert "ui-ua" in out and "simulated" in out
+
+
+def test_sweep_matches_figs_alias(capsys):
+    argv = ["--schemes", "ui-ua", "--degrees", "2,4", "--per-degree",
+            "2", "--mesh", "4"]
+    code_a, out_a = run_cli(capsys, "sweep", *argv)
+    code_b, out_b = run_cli(capsys, "figs", *argv)
+    assert code_a == code_b == 0
+    assert out_a == out_b
+
+
+def test_sweep_rejects_bad_jobs(capsys):
+    code = main(["sweep", "--schemes", "ui-ua", "--degrees", "2",
+                 "--mesh", "4", "--jobs", "-3"])
+    assert code == 2
+    assert "jobs" in capsys.readouterr().err
+
+
+def test_faults_with_jobs_and_no_cache(capsys):
+    code, out = run_cli(capsys, "faults", "--schemes", "ui-ua",
+                        "--drop-probs", "0.0,0.05", "--degree", "4",
+                        "--per-point", "2", "--mesh", "4",
+                        "--jobs", "2", "--no-cache")
+    assert code == 0
+    assert "completion_rate" in out
+
+
+def test_faults_rejects_bad_jobs(capsys):
+    code = main(["faults", "--schemes", "ui-ua", "--mesh", "4",
+                 "--jobs", "-1"])
+    assert code == 2
+
+
+def test_cache_info_and_clear(capsys, tmp_path):
+    import repro.runner as runner
+
+    cache = runner.ResultCache(str(tmp_path))
+    cache.store(cache.digest({"k": 1}), {"k": 1}, "v")
+    code, out = run_cli(capsys, "cache", "info", "--dir", str(tmp_path))
+    assert code == 0
+    assert "entries:    1" in out and str(tmp_path) in out
+    code, out = run_cli(capsys, "cache", "clear", "--dir", str(tmp_path))
+    assert code == 0
+    assert "cleared 1 cache entry" in out
+    code, out = run_cli(capsys, "cache", "info", "--dir", str(tmp_path))
+    assert "entries:    0" in out
+
+
 def test_tables(capsys):
     code, out = run_cli(capsys, "tables", "--which", "4")
     assert code == 0
@@ -93,6 +147,25 @@ def test_chaos_smoke(capsys, tmp_path):
                         "--out-dir", str(tmp_path))
     assert code == 0
     assert "2/2 passed" in out
+
+
+def test_chaos_parallel_with_cache(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code, out = run_cli(capsys, "chaos", "--seeds", "2", "--smoke",
+                        "--jobs", "2", "--cache",
+                        "--out-dir", str(tmp_path))
+    assert code == 0
+    assert "2/2 passed" in out
+    code, out_warm = run_cli(capsys, "chaos", "--seeds", "2", "--smoke",
+                             "--jobs", "2", "--cache",
+                             "--out-dir", str(tmp_path))
+    assert code == 0
+    assert "2/2 passed" in out_warm
+
+
+def test_chaos_rejects_bad_jobs(capsys):
+    code = main(["chaos", "--seeds", "1", "--smoke", "--jobs", "-2"])
+    assert code == 2
 
 
 def test_chaos_rejects_unknown_mutation(capsys):

@@ -1,0 +1,352 @@
+"""The parallel sweep executor and its content-addressed result cache.
+
+Golden determinism: for every sweep entry point, ``jobs=1``, ``jobs=4``
+(a real process pool, even on a single-core machine), and a warm-cache
+replay must produce *bit-identical* merged result streams — proven by
+digest comparison over ``repr`` of the rows.  Cache invalidation: a
+params change, a kernel change, a fault-plan change, and a code-
+fingerprint change must each force a re-simulation.
+"""
+
+import hashlib
+import math
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.experiments import (run_analytical_sweep,
+                                        run_invalidation_sweep)
+from repro.chaos.runner import run_chaos
+from repro.config import ConfigError, max_jobs, paper_parameters
+from repro.faults.sweep import run_fault_sweep
+from repro.runner import (CACHE_SCHEMA, Job, MISS, ResultCache,
+                          code_fingerprint, resolve_execution,
+                          resolve_jobs, run_jobs)
+from repro.runner import cache as cache_mod
+
+PARAMS = paper_parameters(4)
+
+
+def digest(rows) -> str:
+    """Order-sensitive digest of a merged result stream."""
+    return hashlib.sha256(repr(rows).encode()).hexdigest()
+
+
+def rows_equal(a, b) -> bool:
+    """Exact row equality, treating NaN == NaN (fault sweeps report
+    NaN for unavailable baselines)."""
+    def eq(x, y):
+        if isinstance(x, float) and isinstance(y, float) \
+                and math.isnan(x) and math.isnan(y):
+            return True
+        return type(x) is type(y) and x == y
+    return (len(a) == len(b)
+            and all(r1.keys() == r2.keys()
+                    and all(eq(r1[k], r2[k]) for k in r1)
+                    for r1, r2 in zip(a, b)))
+
+
+# ----------------------------------------------------------------------
+# run_jobs scheduler
+# ----------------------------------------------------------------------
+def _add(a, b):
+    return a + b
+
+
+def _pid_tag(i):
+    return (i, os.getpid())
+
+
+def test_run_jobs_preserves_submission_order():
+    jobs = [Job(fn=_add, args=(i, 100)) for i in range(7)]
+    assert run_jobs(jobs, workers=1) == [100 + i for i in range(7)]
+    assert run_jobs(jobs, workers=4) == [100 + i for i in range(7)]
+
+
+def test_run_jobs_actually_uses_worker_processes():
+    results = run_jobs([Job(fn=_pid_tag, args=(i,)) for i in range(4)],
+                       workers=4)
+    assert [i for i, _pid in results] == [0, 1, 2, 3]
+    assert all(pid != os.getpid() for _i, pid in results)
+
+
+def test_run_jobs_serial_stays_in_process():
+    results = run_jobs([Job(fn=_pid_tag, args=(i,)) for i in range(3)],
+                       workers=1)
+    assert all(pid == os.getpid() for _i, pid in results)
+
+
+def test_run_jobs_progress_reports_in_order(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    jobs = [Job(fn=_add, args=(i, 0), key={"i": i}, label=f"j{i}")
+            for i in range(3)]
+    run_jobs(jobs, workers=1, cache=cache)
+    lines = []
+    run_jobs(jobs, workers=1, cache=cache, progress=lines.append)
+    assert [line.split()[0] for line in lines] == ["[1/3]", "[2/3]",
+                                                  "[3/3]"]
+    assert all("cache hit" in line for line in lines)
+
+
+def test_resolve_jobs_sentinel_and_validation():
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    assert resolve_jobs(3) == 3
+    with pytest.raises(ConfigError):
+        resolve_jobs(-1)
+    with pytest.raises(ConfigError):
+        resolve_jobs(max_jobs() + 1)
+
+
+def test_resolve_execution_prefers_explicit_args(tmp_path):
+    params = PARAMS.evolve(jobs=2, result_cache=False)
+    assert resolve_execution(params) == (2, None)
+    workers, cache = resolve_execution(params, jobs=5, use_cache=True,
+                                       cache=ResultCache(str(tmp_path)))
+    assert workers == 5 and cache is not None
+
+
+# ----------------------------------------------------------------------
+# Golden determinism: jobs=1 vs jobs=4 vs cache replay, per entry point
+# ----------------------------------------------------------------------
+def test_invalidation_sweep_parallel_and_cached_bit_identical(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    kwargs = dict(schemes=["ui-ua", "mi-ua-ec", "mi-ma-ec"],
+                  degrees=[2, 5], per_degree=2, params=PARAMS, seed=9)
+    serial = run_invalidation_sweep(jobs=1, use_cache=False, **kwargs)
+    parallel = run_invalidation_sweep(jobs=4, use_cache=False, **kwargs)
+    cold = run_invalidation_sweep(jobs=1, use_cache=True, cache=cache,
+                                  **kwargs)
+    warm = run_invalidation_sweep(jobs=4, use_cache=True, cache=cache,
+                                  **kwargs)
+    assert digest(serial) == digest(parallel) == digest(cold) \
+        == digest(warm)
+    assert cache.stores == 3          # one entry per scheme
+    assert cache.hits == 3            # the warm run replayed everything
+
+
+def test_analytical_sweep_parallel_and_cached_bit_identical(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    kwargs = dict(schemes=["ui-ua", "mi-ma-ec"], degrees=[2, 4],
+                  per_degree=3, params=PARAMS, seed=4)
+    serial = run_analytical_sweep(jobs=1, use_cache=False, **kwargs)
+    parallel = run_analytical_sweep(jobs=4, use_cache=False, **kwargs)
+    cold = run_analytical_sweep(jobs=1, use_cache=True, cache=cache,
+                                **kwargs)
+    warm = run_analytical_sweep(jobs=1, use_cache=True, cache=cache,
+                                **kwargs)
+    assert digest(serial) == digest(parallel) == digest(cold) \
+        == digest(warm)
+    assert cache.hits == 2
+
+
+def test_fault_sweep_parallel_and_cached_bit_identical(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    kwargs = dict(schemes=["ui-ua", "mi-ma-ec"], drop_probs=[0.0, 0.05],
+                  degree=4, per_point=3, params=PARAMS, seed=2)
+    serial = run_fault_sweep(jobs=1, use_cache=False, **kwargs)
+    parallel = run_fault_sweep(jobs=4, use_cache=False, **kwargs)
+    cold = run_fault_sweep(jobs=1, use_cache=True, cache=cache, **kwargs)
+    warm = run_fault_sweep(jobs=4, use_cache=True, cache=cache, **kwargs)
+    assert rows_equal(serial, parallel)
+    assert rows_equal(serial, cold)
+    assert rows_equal(serial, warm)
+    assert cache.stores == 4          # one entry per grid point
+    assert cache.hits == 4
+    # The derived inflation column exists and the baseline is sound.
+    assert serial[0]["latency_x"] == 1.0
+
+
+def test_chaos_soak_parallel_and_cached_bit_identical(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    kwargs = dict(smoke=True, out_dir=str(tmp_path / "bundles"))
+    serial = run_chaos(3, jobs=1, **kwargs)
+    parallel = run_chaos(3, jobs=4, **kwargs)
+    cold = run_chaos(3, jobs=1, use_cache=True, cache=cache, **kwargs)
+    warm = run_chaos(3, jobs=4, use_cache=True, cache=cache, **kwargs)
+    assert serial == parallel == cold == warm
+    assert cache.stores == 3 and cache.hits == 3
+
+
+def test_chaos_cached_mutation_still_bundles(tmp_path):
+    """A failing (mutated) seed replayed from cache must still shrink
+    and write its repro bundle deterministically."""
+    cache = ResultCache(str(tmp_path / "cache"))
+    kwargs = dict(smoke=True, mutation="stale-sharer",
+                  max_shrink_runs=8, use_cache=True, cache=cache)
+    first = run_chaos(1, out_dir=str(tmp_path / "b1"), **kwargs)
+    second = run_chaos(1, out_dir=str(tmp_path / "b2"), **kwargs)
+    assert first["failed"] == second["failed"] == 1
+    assert first["signatures"] == second["signatures"]
+    assert cache.hits >= 1
+    assert os.path.exists(second["bundles"][0])
+
+
+# ----------------------------------------------------------------------
+# Cache invalidation rules
+# ----------------------------------------------------------------------
+def sweep_once(cache, params=PARAMS, seed=9, **overrides):
+    kwargs = dict(schemes=["ui-ua"], degrees=[2], per_degree=2,
+                  params=params, seed=seed, jobs=1, use_cache=True,
+                  cache=cache)
+    kwargs.update(overrides)
+    return run_invalidation_sweep(**kwargs)
+
+
+def test_cache_hit_on_identical_config(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    sweep_once(cache)
+    sweep_once(cache)
+    assert cache.stores == 1 and cache.hits == 1
+
+
+def test_cache_miss_on_params_change(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    sweep_once(cache)
+    sweep_once(cache, params=PARAMS.evolve(router_delay=6))
+    assert cache.hits == 0 and cache.stores == 2
+
+
+def test_cache_miss_on_kernel_change(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    sweep_once(cache)
+    sweep_once(cache, params=PARAMS.evolve(kernel="legacy"))
+    assert cache.hits == 0 and cache.stores == 2
+
+
+def test_cache_miss_on_seed_or_workload_change(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    sweep_once(cache)
+    sweep_once(cache, seed=10)
+    sweep_once(cache, kind="column")
+    assert cache.hits == 0 and cache.stores == 3
+
+
+def test_cache_hit_across_execution_knobs(tmp_path):
+    """jobs/result_cache select how a sweep runs, not what it computes,
+    so they must not partition the cache."""
+    cache = ResultCache(str(tmp_path))
+    sweep_once(cache, params=PARAMS.evolve(jobs=1))
+    sweep_once(cache, params=PARAMS.evolve(jobs=4), jobs=4)
+    assert cache.stores == 1 and cache.hits == 1
+
+
+def test_cache_miss_on_fault_plan_change(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    kwargs = dict(schemes=["ui-ua"], drop_probs=[0.05], degree=4,
+                  per_point=2, params=PARAMS, seed=2, jobs=1,
+                  use_cache=True, cache=cache)
+    run_fault_sweep(**kwargs)
+    run_fault_sweep(**dict(kwargs, link_faults=1))
+    run_fault_sweep(**dict(kwargs, drop_probs=[0.1]))
+    assert cache.hits == 0 and cache.stores == 3
+    run_fault_sweep(**kwargs)
+    assert cache.hits == 1
+
+
+def test_cache_miss_on_code_fingerprint_change(tmp_path, monkeypatch):
+    cache = ResultCache(str(tmp_path))
+    sweep_once(cache)
+    original = code_fingerprint()
+    monkeypatch.setattr(cache_mod, "_fingerprint_memo",
+                        dict(original, version="999.0.0"))
+    sweep_once(cache)
+    assert cache.hits == 0 and cache.stores == 2
+    monkeypatch.setattr(cache_mod, "_fingerprint_memo", dict(original))
+    sweep_once(cache)
+    assert cache.hits == 1
+
+
+def test_code_fingerprint_covers_sources():
+    fp = code_fingerprint()
+    assert fp["package"] == "repro"
+    assert len(fp["source_digest"]) == 64
+    assert fp["cache_schema"] == CACHE_SCHEMA
+    assert code_fingerprint() is code_fingerprint()  # memoized
+
+
+# ----------------------------------------------------------------------
+# ResultCache mechanics
+# ----------------------------------------------------------------------
+def test_cache_roundtrip_and_info_and_clear(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = {"fn": "t", "x": 1}
+    d = cache.digest(key)
+    assert cache.load(d) is MISS
+    cache.store(d, key, {"rows": [1, 2.5, "three"]})
+    assert cache.load(d, key) == {"rows": [1, 2.5, "three"]}
+    info = cache.info()
+    assert info["entries"] == 1 and info["bytes"] > 0
+    assert info["root"] == str(tmp_path)
+    assert cache.clear() == 1
+    assert cache.info()["entries"] == 0
+    assert cache.load(d) is MISS
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = {"k": 1}
+    d = cache.digest(key)
+    cache.store(d, key, "value")
+    path = cache._path(d)
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    assert cache.load(d, key) is MISS
+    assert not os.path.exists(path)  # purged
+
+
+def test_cache_key_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    d = cache.digest({"k": 1})
+    cache.store(d, {"k": 1}, "value")
+    assert cache.load(d, {"k": 2}) is MISS
+
+
+def test_cache_schema_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = {"k": 1}
+    d = cache.digest(key)
+    path = cache._path(d)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as fh:
+        pickle.dump({"cache_schema": CACHE_SCHEMA + 1, "key": key,
+                     "result": "stale"}, fh)
+    assert cache.load(d, key) is MISS
+
+
+def test_cache_digest_is_key_order_independent(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert cache.digest({"a": 1, "b": 2}) == cache.digest({"b": 2, "a": 1})
+    assert cache.digest({"a": 1}) != cache.digest({"a": 2})
+
+
+def test_cache_rejects_unjsonable_keys(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    with pytest.raises(TypeError):
+        cache.digest({"fn": object()})
+
+
+def test_default_cache_honors_environment(tmp_path, monkeypatch):
+    from repro.runner import default_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
+    assert default_cache().root == str(tmp_path / "env-root")
+
+
+# ----------------------------------------------------------------------
+# SystemParameters knobs
+# ----------------------------------------------------------------------
+def test_params_jobs_validation():
+    assert paper_parameters(4, jobs=0).jobs == 0
+    assert paper_parameters(4, jobs=4).jobs == 4
+    with pytest.raises(ConfigError):
+        paper_parameters(4, jobs=-1)
+    with pytest.raises(ConfigError):
+        paper_parameters(4, jobs=max_jobs() + 1)
+
+
+def test_params_knobs_default_and_thread_through():
+    p = paper_parameters(4)
+    assert p.jobs == 1 and p.result_cache is True
+    q = p.evolve(jobs=0, result_cache=False)
+    assert q.jobs == 0 and q.result_cache is False
