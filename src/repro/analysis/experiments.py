@@ -27,7 +27,8 @@ from repro.core.engine import InvalidationEngine
 from repro.core.grouping import SCHEMES, build_plan
 from repro.core.metrics import aggregate_records
 from repro.network import make_network
-from repro.runner import Job, params_key, resolve_execution, run_jobs
+from repro.runner import (Job, params_key, resolve_execution,
+                          resolve_policy, run_jobs)
 from repro.sim import Simulator, Tally
 from repro.workloads.patterns import make_pattern
 
@@ -88,7 +89,7 @@ def run_invalidation_sweep(schemes: Sequence[str], degrees: Sequence[int],
                            home: Optional[int] = None,
                            jobs: Optional[int] = None,
                            use_cache: Optional[bool] = None,
-                           cache=None) -> list[dict]:
+                           cache=None, resume: bool = False) -> list[dict]:
     """Measure the four performance measures per (scheme, degree).
 
     Each transaction runs on an otherwise idle network (the paper's
@@ -96,7 +97,9 @@ def run_invalidation_sweep(schemes: Sequence[str], degrees: Sequence[int],
     the comparison is paired.  ``jobs``/``use_cache`` override the
     ``params.jobs`` / ``params.result_cache`` knobs (``jobs=0`` = one
     worker per core); the merged row order is scheme-major and
-    bit-identical for every worker count and on cache replay.
+    bit-identical for every worker count, on cache replay, and on a
+    journal ``resume`` of an interrupted sweep.  Supervision follows
+    the ``job_timeout``/``job_max_retries``/``job_backoff`` knobs.
     """
     params = params or paper_parameters()
     degrees = tuple(degrees)
@@ -110,7 +113,8 @@ def run_invalidation_sweep(schemes: Sequence[str], degrees: Sequence[int],
                  "kind": kind, "seed": seed, "home": home},
             label=f"sweep:{scheme}")
         for scheme in schemes]
-    per_scheme = run_jobs(job_list, workers=workers, cache=cache)
+    per_scheme = run_jobs(job_list, workers=workers, cache=cache,
+                          policy=resolve_policy(params), resume=resume)
     return [row for rows in per_scheme for row in rows]
 
 
@@ -151,7 +155,7 @@ def run_analytical_sweep(schemes: Sequence[str], degrees: Sequence[int],
                          kind: str = "uniform", seed: int = 0,
                          jobs: Optional[int] = None,
                          use_cache: Optional[bool] = None,
-                         cache=None) -> list[dict]:
+                         cache=None, resume: bool = False) -> list[dict]:
     """Analytical counterpart of :func:`run_invalidation_sweep`
     (identical pattern stream, closed-form measures)."""
     params = params or paper_parameters()
@@ -166,7 +170,8 @@ def run_analytical_sweep(schemes: Sequence[str], degrees: Sequence[int],
                  "kind": kind, "seed": seed},
             label=f"analytical:{scheme}")
         for scheme in schemes]
-    per_scheme = run_jobs(job_list, workers=workers, cache=cache)
+    per_scheme = run_jobs(job_list, workers=workers, cache=cache,
+                          policy=resolve_policy(params), resume=resume)
     return [row for rows in per_scheme for row in rows]
 
 

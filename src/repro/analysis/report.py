@@ -50,7 +50,8 @@ def _app_configs(scale: str):
 
 
 def generate_report(scale: str = "ci", seed: int = 11,
-                    progress=None, jobs=None, use_cache=None) -> str:
+                    progress=None, jobs=None, use_cache=None,
+                    resume: bool = False) -> str:
     """Run the full evaluation; returns the markdown report text.
 
     ``scale``: ``"ci"`` (default), ``"paper"``, or ``"smoke"`` — the
@@ -58,6 +59,7 @@ def generate_report(scale: str = "ci", seed: int = 11,
     ``jobs``/``use_cache`` are forwarded to the sweep runners
     (:mod:`repro.runner`): ``jobs=0`` fans each sweep across every
     core, and a warm result cache makes a repeat report near-free.
+    ``resume=True`` replays interrupted sweeps' journals first.
     """
     if scale not in ("ci", "paper", "smoke"):
         raise ValueError("scale must be 'ci', 'paper', or 'smoke'")
@@ -85,7 +87,7 @@ def generate_report(scale: str = "ci", seed: int = 11,
 
     say("figures: invalidation sweeps")
     rows = run_invalidation_sweep(SWEEP_SCHEMES, degrees, per_degree=5,
-                                  params=params, seed=seed)
+                                  params=params, seed=seed, resume=resume)
     parts += ["## Invalidation cost vs degree of sharing", "",
               rows_to_markdown(rows, columns=[
                   "scheme", "degree", "latency", "messages", "flit_hops",
@@ -103,10 +105,11 @@ def generate_report(scale: str = "ci", seed: int = 11,
 
     say("analytical cross-validation")
     ana = run_analytical_sweep(["ui-ua", "mi-ma-ec"], [2, 8, degrees[-1]],
-                               per_degree=5, params=params, seed=seed)
+                               per_degree=5, params=params, seed=seed,
+                               resume=resume)
     sim = run_invalidation_sweep(["ui-ua", "mi-ma-ec"],
                                  [2, 8, degrees[-1]], per_degree=5,
-                                 params=params, seed=seed)
+                                 params=params, seed=seed, resume=resume)
     compare = [{"scheme": s["scheme"], "degree": s["degree"],
                 "simulated": s["latency"], "analytical": a["latency"],
                 "error_pct": (a["latency"] - s["latency"])

@@ -8,6 +8,8 @@ greedily shrunk and frozen into JSON bundles that replay exactly.
 from repro.chaos.bundle import (BUNDLE_FORMAT, load_bundle, make_bundle,
                                 replay_bundle, write_bundle)
 from repro.chaos.runner import run_chaos
+from repro.chaos.runner_faults import (RUNNER_CHAOS_SCENARIOS,
+                                       run_runner_chaos)
 from repro.chaos.scenario import (CHAOS_SCHEMES, ChaosResult, ChaosScenario,
                                   MUTATIONS, build_fault_plan, build_system,
                                   build_traces, generate_scenario,
@@ -20,6 +22,7 @@ __all__ = [
     "ChaosResult",
     "ChaosScenario",
     "MUTATIONS",
+    "RUNNER_CHAOS_SCENARIOS",
     "build_fault_plan",
     "build_system",
     "build_traces",
@@ -28,6 +31,7 @@ __all__ = [
     "make_bundle",
     "replay_bundle",
     "run_chaos",
+    "run_runner_chaos",
     "run_scenario",
     "shrink",
     "write_bundle",

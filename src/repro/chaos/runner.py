@@ -38,7 +38,7 @@ def _scenario_job(scenario: ChaosScenario, audit: str) -> dict:
 
 def _soak_results(scenarios: list[ChaosScenario], audit: str,
                   checker: Optional[Callable], jobs: int,
-                  cache) -> list[ChaosResult]:
+                  cache, resume: bool = False) -> list[ChaosResult]:
     """Classify every scenario — fanned out and cache-replayed through
     :mod:`repro.runner` except when a custom ``checker`` is attached
     (an arbitrary callable can be neither pickled to a worker nor
@@ -52,7 +52,7 @@ def _soak_results(scenarios: list[ChaosScenario], audit: str,
                  "audit": audit},
             label=f"chaos:seed{scenario.seed}")
         for scenario in scenarios]
-    states = run_jobs(job_list, workers=jobs, cache=cache)
+    states = run_jobs(job_list, workers=jobs, cache=cache, resume=resume)
     return [ChaosResult(scenario=scenario, **dict(state, trail=tuple(
         state["trail"]))) for scenario, state in zip(scenarios, states)]
 
@@ -64,7 +64,7 @@ def run_chaos(seeds: int, *, smoke: bool = False, audit: str = "full",
               max_shrink_runs: int = 48,
               log: Callable[[str], None] = lambda msg: None,
               jobs: int = 1, use_cache: bool = False,
-              cache=None) -> dict:
+              cache=None, resume: bool = False) -> dict:
     """Soak ``seeds`` scenarios; returns a summary dict.
 
     Summary keys: ``seeds``, ``passed``, ``failed``, ``expected_txn_
@@ -78,7 +78,9 @@ def run_chaos(seeds: int, *, smoke: bool = False, audit: str = "full",
     result cache is *opt-in* here (``use_cache=True``): a soak's job is
     to re-test the current code, and although the cache fingerprint
     does invalidate on any source change, a fresh run is the
-    conservative default for a bug-hunting loop.
+    conservative default for a bug-hunting loop.  ``resume=True``
+    replays the journal of an interrupted soak of the identical seed
+    set first (``docs/RUNNER.md``).
     """
     from repro.runner import default_cache
 
@@ -89,7 +91,8 @@ def run_chaos(seeds: int, *, smoke: bool = False, audit: str = "full",
     scenarios = [generate_scenario(base_seed + i, smoke=smoke,
                                    mutation=mutation)
                  for i in range(seeds)]
-    results = _soak_results(scenarios, audit, checker, jobs, cache)
+    results = _soak_results(scenarios, audit, checker, jobs, cache,
+                            resume=resume)
 
     passed = failed = expected = 0
     bundles: list[str] = []

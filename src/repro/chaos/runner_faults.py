@@ -1,0 +1,244 @@
+"""Runner-level chaos: prove supervised sweep recovery end to end.
+
+The :mod:`repro.chaos` scenario engine attacks the *simulated* DSM;
+this module attacks the **execution substrate itself** — the
+:mod:`repro.runner` scheduler that runs every figure in the paper
+reproduction.  Each scenario injects a real infrastructure failure into
+a small (but genuine) invalidation sweep and checks that recovery
+preserves the serial ≡ parallel **bit-identity guarantee** the golden
+tests encode:
+
+* ``kill``    — a job SIGKILLs its worker mid-sweep (the OOM-killer
+  shape); the broken pool must be rebuilt, in-flight jobs requeued,
+  and the merged rows must digest-match a clean serial run.
+* ``hang``    — a job wedges its worker; the wall-clock watchdog must
+  kill the pool, retry the job, and converge to the same digest.
+* ``poison``  — a job fails deterministically on every attempt; it must
+  be quarantined behind a typed
+  :class:`~repro.runner.supervisor.JobFailed` carrying the child
+  traceback, *after* every healthy job's result has been journaled.
+* ``journal`` — a sweep is interrupted (``KeyboardInterrupt``) and one
+  journal line is corrupted on disk; ``resume`` must skip exactly that
+  entry, re-run it plus the unfinished jobs, and digest-match.
+* ``cache``   — a result-cache entry is corrupted on disk; the next
+  sweep must purge it (counting it in ``ResultCache.corrupt``),
+  re-simulate, and digest-match.
+
+Backs ``benchmarks/bench_runner_chaos.py`` and the CI ``runner-chaos``
+smoke job.  Everything is seeded and file-flag based, so scenarios are
+reproducible; fault injection fires exactly once per flag file
+(retries then run clean), except ``poison`` which always fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import tempfile
+import time
+from typing import Callable, Optional
+
+from repro.analysis.experiments import _invalidation_scheme_job
+from repro.config import paper_parameters
+from repro.runner import (Job, JobFailed, ResultCache, RetryPolicy,
+                          SweepJournal, key_digest, run_jobs)
+
+#: Scenario names in execution order.
+RUNNER_CHAOS_SCENARIOS = ("kill", "hang", "poison", "journal", "cache")
+
+#: Seconds an injected hang sleeps — anything comfortably past the
+#: scenario watchdog (the pool kill interrupts the sleep long before).
+HANG_SECONDS = 120.0
+
+
+def _chaos_sweep_job(scheme: str, degrees: tuple, per_degree: int,
+                     params, seed: int, fault: str,
+                     flag_path: str) -> list:
+    """One sweep job with optional one-shot fault injection.
+
+    The payload is the real per-scheme invalidation sweep job, so
+    digests compare actual paper-figure rows.  ``fault`` fires only
+    while ``flag_path`` does not exist (the flag is written *before*
+    the fault so retries run clean); ``poison`` ignores the flag and
+    fails every attempt.
+    """
+    if fault == "poison":
+        raise RuntimeError(f"injected poison job ({scheme})")
+    if fault != "none" and not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write(fault)
+        if fault == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault == "hang":
+            time.sleep(HANG_SECONDS)
+        elif fault == "raise":
+            raise RuntimeError(f"injected transient failure ({scheme})")
+    return _invalidation_scheme_job(scheme, degrees, per_degree, params,
+                                    "uniform", seed, None)
+
+
+def _digest(rows) -> str:
+    """Order-sensitive digest of a merged result stream (same contract
+    as the golden tests in ``tests/test_runner.py``)."""
+    return hashlib.sha256(repr(rows).encode()).hexdigest()
+
+
+class _Interrupter:
+    """Progress callback that raises ``KeyboardInterrupt`` after ``n``
+    landed results — a deterministic stand-in for Ctrl-C mid-sweep."""
+
+    def __init__(self, after: int) -> None:
+        self.after = after
+        self.landed = 0
+
+    def __call__(self, line: str) -> None:
+        if line.startswith("[") and "ran" in line:
+            self.landed += 1
+            if self.landed >= self.after:
+                raise KeyboardInterrupt
+
+
+def _build_jobs(schemes, degrees, per_degree, params, seed, nonce,
+                faults: dict, flag_dir: str) -> list[Job]:
+    """The scenario's job list; ``faults`` maps job index -> fault
+    kind.  ``nonce`` isolates cache/journal identity per scenario."""
+    jobs = []
+    for i, scheme in enumerate(schemes):
+        fault = faults.get(i, "none")
+        jobs.append(Job(
+            fn=_chaos_sweep_job,
+            args=(scheme, tuple(degrees), per_degree, params, seed,
+                  fault, os.path.join(flag_dir, f"flag-{nonce}-{i}")),
+            key={"fn": "runner_chaos/scheme", "nonce": nonce,
+                 "scheme": scheme, "degrees": list(degrees),
+                 "per_degree": per_degree, "seed": seed, "fault": fault},
+            label=f"rchaos:{scheme}"))
+    return jobs
+
+
+def run_runner_chaos(*, smoke: bool = True, seed: int = 0,
+                     workdir: Optional[str] = None,
+                     log: Optional[Callable[[str], None]] = None) -> dict:
+    """Run every runner-chaos scenario; returns a summary dict.
+
+    Summary keys: ``scenarios`` (one dict per scenario with ``name``,
+    ``ok``, ``detail``), ``baseline_digest``, and ``ok`` (every
+    scenario recovered to the clean serial digest).  ``workdir`` holds
+    flag files, journals, and the scenario cache (a temp dir by
+    default); pass a persistent path so CI can upload the journal as an
+    artifact on failure.
+    """
+    say = log or (lambda msg: None)
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-runner-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    flag_dir = os.path.join(workdir, "flags")
+    journal_dir = os.path.join(workdir, "journal")
+    os.makedirs(flag_dir, exist_ok=True)
+
+    params = paper_parameters(4 if smoke else 8)
+    schemes = ["ui-ua", "mi-ua-ec", "mi-ma-ec"]
+    degrees = (2, 3) if smoke else (2, 4, 8)
+    per_degree = 1 if smoke else 2
+    watchdog = 3.0 if smoke else 10.0
+    policy = RetryPolicy(timeout=watchdog, max_retries=2, backoff=1.0,
+                         retry_delay=0.01)
+
+    def jobs_for(nonce: str, faults: dict) -> list[Job]:
+        return _build_jobs(schemes, degrees, per_degree, params, seed,
+                           nonce, faults, flag_dir)
+
+    say("baseline: clean serial sweep")
+    baseline = _digest(run_jobs(jobs_for("base", {}), workers=1,
+                                journal_dir=journal_dir))
+    scenarios: list[dict] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        scenarios.append({"name": name, "ok": ok, "detail": detail})
+        say(f"{name}: {'recovered' if ok else 'FAILED'} — {detail}")
+
+    # -- kill: SIGKILLed worker, pool rebuild, requeue -----------------
+    rows = run_jobs(jobs_for("kill", {1: "kill"}), workers=2,
+                    policy=policy, journal_dir=journal_dir)
+    check("kill", _digest(rows) == baseline,
+          "worker SIGKILLed mid-sweep; rebuilt pool digest-matches "
+          "serial baseline")
+
+    # -- hang: watchdog timeout, retry ---------------------------------
+    rows = run_jobs(jobs_for("hang", {0: "hang"}), workers=2,
+                    policy=policy, journal_dir=journal_dir)
+    check("hang", _digest(rows) == baseline,
+          f"hung job tripped the {watchdog:g}s watchdog and retried; "
+          f"digest-matches serial baseline")
+
+    # -- poison: quarantine with traceback, healthy work journaled -----
+    poison_jobs = jobs_for("poison", {2: "poison"})
+    quarantined = traceback_ok = False
+    try:
+        run_jobs(poison_jobs, workers=2,
+                 policy=RetryPolicy(timeout=watchdog, max_retries=1,
+                                    backoff=1.0, retry_delay=0.01),
+                 journal_dir=journal_dir)
+    except JobFailed as exc:
+        quarantined = True
+        traceback_ok = "injected poison job" in exc.child_traceback
+    journal = SweepJournal.for_digests(
+        journal_dir, [key_digest(j.key) for j in poison_jobs])
+    healthy = len(journal.load())
+    journal.close()
+    check("poison", quarantined and traceback_ok and healthy == 2,
+          f"poison job quarantined with child traceback; "
+          f"{healthy}/2 healthy results preserved in the journal")
+
+    # -- journal: interrupt, corrupt one line, resume ------------------
+    resume_jobs = jobs_for("journal", {})
+    interrupted = False
+    try:
+        run_jobs(resume_jobs, workers=1, journal_dir=journal_dir,
+                 progress=_Interrupter(after=2))
+    except KeyboardInterrupt:
+        interrupted = True
+    journal = SweepJournal.for_digests(
+        journal_dir, [key_digest(j.key) for j in resume_jobs])
+    corrupted = False
+    if os.path.exists(journal.path):
+        with open(journal.path, "r+", encoding="utf-8") as fh:
+            lines = fh.readlines()
+            if lines:
+                lines[0] = lines[0][:40][::-1] + "garbled\n"
+                fh.seek(0)
+                fh.truncate()
+                fh.writelines(lines)
+                corrupted = True
+    progress_lines: list[str] = []
+    rows = run_jobs(resume_jobs, workers=1, journal_dir=journal_dir,
+                    resume=True, progress=progress_lines.append)
+    resumed = sum(ln.startswith("[") and "resumed from journal" in ln
+                  for ln in progress_lines)
+    check("journal",
+          interrupted and corrupted and _digest(rows) == baseline
+          and resumed == 1,
+          f"interrupted sweep resumed past a corrupt journal line "
+          f"({resumed} resumed, corrupt line re-ran); digest-matches "
+          f"serial baseline")
+
+    # -- cache: corrupt entry purged, counted, re-simulated ------------
+    cache = ResultCache(os.path.join(workdir, "cache"))
+    cache_jobs = jobs_for("cache", {})
+    run_jobs(cache_jobs, workers=1, cache=cache)
+    victim = cache._path(cache.digest(cache_jobs[0].key))
+    with open(victim, "wb") as fh:
+        fh.write(b"not a pickle at all")
+    rows = run_jobs(cache_jobs, workers=1, cache=cache)
+    check("cache",
+          _digest(rows) == baseline and cache.corrupt == 1
+          and cache.info()["corrupt_purged"] == 1,
+          "corrupt cache entry purged (counted) and re-simulated; "
+          "digest-matches serial baseline")
+
+    return {
+        "ok": all(s["ok"] for s in scenarios),
+        "baseline_digest": baseline,
+        "scenarios": scenarios,
+        "workdir": workdir,
+    }

@@ -16,11 +16,15 @@ Commands:
 * ``replay`` — re-run a repro bundle deterministically and check that
   its failure signature reproduces;
 * ``cache`` — inspect (``info``) or wipe (``clear``) the
-  content-addressed sweep result cache under ``.repro-cache/``.
+  content-addressed sweep result cache under ``.repro-cache/``,
+  including the sweep journals of interrupted runs and the corrupt-
+  entry purge tally.
 
 The sweep-shaped commands (``sweep``/``figs``, ``report``, ``faults``,
 ``chaos``) all accept ``--jobs N`` (``0`` = one worker process per CPU
-core) and ``--no-cache`` — see :mod:`repro.runner`.
+core), ``--no-cache``, and ``--resume`` (replay an interrupted run's
+journal, then finish the rest) — see :mod:`repro.runner` and
+``docs/RUNNER.md``.
 """
 
 from __future__ import annotations
@@ -47,6 +51,11 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not populate the result "
                              "cache (.repro-cache/)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay completed jobs from the sweep "
+                             "journal of an interrupted identical run "
+                             "(.repro-cache/journal/), then finish the "
+                             "rest")
 
 
 def _csv_ints(text: str) -> list[int]:
@@ -180,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--no-cache", action="store_true",
                          help="force fresh runs (the default; present "
                               "for symmetry with the other sweeps)")
+    p_chaos.add_argument("--resume", action="store_true",
+                         help="replay completed seeds from the journal "
+                              "of an interrupted identical soak")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the sweep result cache")
@@ -247,7 +259,8 @@ def cmd_sweep(args) -> int:
     runner = run_analytical_sweep if args.analytical \
         else run_invalidation_sweep
     rows = runner(args.schemes, args.degrees, per_degree=args.per_degree,
-                  params=params, kind=args.kind, seed=args.seed)
+                  params=params, kind=args.kind, seed=args.seed,
+                  resume=args.resume)
     mode = "analytical" if args.analytical else "simulated"
     print(format_table(rows, title=f"Invalidation sweep ({mode}, "
                                    f"{args.mesh}x{args.mesh}, "
@@ -304,7 +317,8 @@ def cmd_report(args) -> int:
     text = generate_report(scale=args.scale, seed=args.seed,
                            progress=lambda msg: print(f"[report] {msg}"),
                            jobs=args.jobs,
-                           use_cache=False if args.no_cache else None)
+                           use_cache=False if args.no_cache else None,
+                           resume=args.resume)
     with open(args.out, "w") as fh:
         fh.write(text)
     print(f"wrote {args.out} ({len(text.splitlines())} lines)")
@@ -333,7 +347,8 @@ def cmd_faults(args) -> int:
                                params=params, link_faults=args.link_faults,
                                router_faults=args.router_faults,
                                seed=args.seed,
-                               fault_aware=args.fault_aware)
+                               fault_aware=args.fault_aware,
+                               resume=args.resume)
     except ValueError as exc:
         print(f"invalid fault configuration: {exc}", file=sys.stderr)
         return 2
@@ -366,7 +381,8 @@ def cmd_chaos(args) -> int:
                             max_shrink_runs=args.max_shrink_runs,
                             log=lambda msg: print(f"[chaos] {msg}"),
                             jobs=1 if args.jobs is None else args.jobs,
-                            use_cache=args.use_cache and not args.no_cache)
+                            use_cache=args.use_cache and not args.no_cache,
+                            resume=args.resume)
     except ConfigError as exc:
         print(f"invalid configuration: {exc}", file=sys.stderr)
         return 2
@@ -417,19 +433,30 @@ def cmd_replay(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    """``repro cache``: inspect or wipe the sweep result cache."""
-    from repro.runner import ResultCache
+    """``repro cache``: inspect or wipe the sweep result cache and the
+    sweep journals of interrupted runs."""
+    import os as _os
+
+    from repro.runner import ResultCache, clear_journals, journal_info
 
     cache = ResultCache(args.dir)
+    journal_root = _os.path.join(cache.root, "journal")
     if args.action == "info":
         info = cache.info()
+        journals = journal_info(journal_root)
         print(f"cache root: {info['root']}")
         print(f"entries:    {info['entries']}")
         print(f"bytes:      {info['bytes']}")
+        print(f"corrupt entries purged: {info['corrupt_purged']}")
+        print(f"journals:   {journals['journals']} interrupted sweep(s) "
+              f"awaiting --resume ({journals['entries']} job result(s), "
+              f"{journals['bytes']} bytes)")
         return 0
     removed = cache.clear()
+    journals = clear_journals(journal_root)
     print(f"cleared {removed} cache entr"
-          f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+          f"{'y' if removed == 1 else 'ies'} and {journals} "
+          f"journal(s) from {cache.root}")
     return 0
 
 

@@ -178,9 +178,11 @@ class SystemParameters:
     audit: str = "off"
 
     # ------------------------------------------------------------------
-    # Sweep execution (these two knobs select *how* sweeps run, never
-    # what they compute — results are bit-identical for every setting,
-    # and they are excluded from result-cache keys)
+    # Sweep execution (these knobs select *how* sweeps run, never what
+    # they compute — results are bit-identical for every setting, and
+    # they are excluded from result-cache keys; the job_* supervision
+    # family mirrors the txn_* transaction-recovery family above, one
+    # level up: worker processes instead of invalidation worms)
     # ------------------------------------------------------------------
     #: Worker processes for sweep entry points (``run_invalidation_
     #: sweep``, ``run_fault_sweep``, ``run_chaos``, the perf harness):
@@ -191,6 +193,22 @@ class SystemParameters:
     #: ``.repro-cache/`` (see :mod:`repro.runner.cache`); ``False``
     #: forces every config to re-simulate (the CLI ``--no-cache``).
     result_cache: bool = True
+    #: Per-job wall-clock watchdog for pooled sweep execution, in
+    #: seconds; a job past its deadline has wedged its worker, so the
+    #: pool is killed and rebuilt and the job retried.  Scaled by
+    #: ``job_backoff`` per attempt (mirroring ``txn_timeout``); ``0``
+    #: disables the watchdog.  Serial (``jobs=1``) execution never has
+    #: a watchdog.
+    job_timeout: float = 300.0
+    #: Retry attempts for a failed, hung, or worker-killed sweep job
+    #: before it is quarantined with a typed
+    #: :class:`~repro.runner.supervisor.JobFailed` carrying the child
+    #: traceback (0 = never retry); mirrors ``txn_max_retries``.
+    job_max_retries: int = 2
+    #: Exponential backoff multiplier on the job watchdog and the
+    #: parent-side retry delay per successive attempt; mirrors
+    #: ``txn_backoff``.
+    job_backoff: int = 2
 
     def __post_init__(self) -> None:
         if self.mesh_width < 1 or self.mesh_height < 1:
@@ -244,6 +262,13 @@ class SystemParameters:
         if self.jobs > max_jobs():
             raise ConfigError(f"jobs must be <= {max_jobs()} on this "
                               f"machine (0 = auto)")
+        if self.job_timeout < 0:
+            raise ConfigError("job_timeout must be >= 0 seconds "
+                              "(0 = no watchdog)")
+        if self.job_max_retries < 0:
+            raise ConfigError("job_max_retries must be >= 0")
+        if self.job_backoff < 1:
+            raise ConfigError("job_backoff must be >= 1")
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -32,7 +32,8 @@ from repro.core.engine import InvalidationEngine
 from repro.core.grouping import SCHEMES, build_plan
 from repro.faults.plan import FaultPlan, TransactionFailed
 from repro.network import make_network
-from repro.runner import Job, params_key, resolve_execution, run_jobs
+from repro.runner import (Job, params_key, resolve_execution,
+                          resolve_policy, run_jobs)
 from repro.sim import Simulator, Tally
 from repro.workloads.patterns import make_pattern
 
@@ -45,7 +46,7 @@ def run_fault_sweep(schemes: Sequence[str], drop_probs: Sequence[float],
                     fault_aware: bool = False,
                     jobs: Optional[int] = None,
                     use_cache: Optional[bool] = None,
-                    cache=None) -> list[dict]:
+                    cache=None, resume: bool = False) -> list[dict]:
     """Row dicts for every (scheme, drop probability) grid point.
 
     ``link_faults``/``router_faults`` add that many permanent random
@@ -55,7 +56,9 @@ def run_fault_sweep(schemes: Sequence[str], drop_probs: Sequence[float],
     ``fault_aware=True`` routes every point with the scheme's ``+ft``
     fault-aware routing (reroute before downgrade).
     ``jobs``/``use_cache`` override ``params.jobs`` /
-    ``params.result_cache`` (``jobs=0`` = one worker per core).
+    ``params.result_cache`` (``jobs=0`` = one worker per core);
+    ``resume=True`` replays an interrupted sweep's journal first
+    (``docs/RUNNER.md``).
     """
     params = params or paper_parameters()
     if fault_aware and not params.fault_aware_routing:
@@ -77,7 +80,8 @@ def run_fault_sweep(schemes: Sequence[str], drop_probs: Sequence[float],
                  "seed": seed},
             label=f"faults:{scheme}@{prob:g}")
         for scheme, prob in grid]
-    rows = run_jobs(job_list, workers=workers, cache=cache)
+    rows = run_jobs(job_list, workers=workers, cache=cache,
+                    policy=resolve_policy(params), resume=resume)
     # Latency inflation is relative to the scheme's fault-free point —
     # a cross-point measure, so it is derived at merge time (preserving
     # the historical iteration-order semantics: points before the

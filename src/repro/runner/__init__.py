@@ -12,27 +12,50 @@ cache.  All four sweep consumers route through it:
 * ``benchmarks/harness.py`` (one job per workload, plus the
   parallel-scaling section of ``BENCH_perf.json``).
 
-See :mod:`repro.runner.jobs` for the determinism contract and
+Execution is *supervised* (:mod:`repro.runner.supervisor`): per-job
+wall-clock watchdogs, bounded retries with exponential backoff,
+poison-job quarantine behind a typed :class:`JobFailed`, broken-pool
+rebuild with a serial fallback, and a crash-safe JSON-lines sweep
+journal (:mod:`repro.runner.journal`) that makes interrupted sweeps
+resumable with bit-identical results.
+
+See :mod:`repro.runner.jobs` for the determinism contract,
 :mod:`repro.runner.cache` for the cache-key layout and invalidation
-rules (also documented in ``docs/PERFORMANCE.md``).
+rules, and ``docs/RUNNER.md`` for the failure semantics.
 """
 
 from repro.runner.cache import (CACHE_SCHEMA, MISS, ResultCache,
                                 code_fingerprint, default_cache,
                                 key_digest, params_key)
 from repro.runner.jobs import (Job, resolve_execution, resolve_jobs,
-                               run_jobs)
+                               resolve_policy, run_jobs)
+from repro.runner.journal import (JOURNAL_SCHEMA, SweepJournal,
+                                  clear_journals, default_journal_root,
+                                  journal_info)
+from repro.runner.supervisor import (JobFailed, JobFailure, RetryPolicy,
+                                     WorkerFailure, run_supervised)
 
 __all__ = [
     "CACHE_SCHEMA",
+    "JOURNAL_SCHEMA",
     "Job",
+    "JobFailed",
+    "JobFailure",
     "MISS",
     "ResultCache",
+    "RetryPolicy",
+    "SweepJournal",
+    "WorkerFailure",
+    "clear_journals",
     "code_fingerprint",
     "default_cache",
+    "default_journal_root",
+    "journal_info",
     "key_digest",
     "params_key",
     "resolve_execution",
     "resolve_jobs",
+    "resolve_policy",
     "run_jobs",
+    "run_supervised",
 ]

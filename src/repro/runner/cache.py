@@ -42,8 +42,11 @@ _MISS = object()
 
 #: SystemParameters fields that select *how* a sweep executes, not what
 #: it computes — excluded from cache keys so ``jobs=1`` and ``jobs=8``
-#: runs of the same config share entries.
-EXECUTION_ONLY_FIELDS = frozenset({"jobs", "result_cache"})
+#: runs of the same config share entries.  The supervision knobs
+#: (``job_timeout``/``job_max_retries``/``job_backoff``) only shape
+#: failure recovery, never results, so they live here too.
+EXECUTION_ONLY_FIELDS = frozenset({"jobs", "result_cache", "job_timeout",
+                                   "job_max_retries", "job_backoff"})
 
 _fingerprint_memo: Optional[dict] = None
 
@@ -120,7 +123,10 @@ class ResultCache:
     pickle of ``{"cache_schema", "key", "result"}``.  Results round-trip
     through :mod:`pickle`, so replays are *bit-identical* to the fresh
     run (numpy scalar types and all).  The instance counts ``hits``,
-    ``misses``, and ``stores`` for reporting.
+    ``misses``, ``stores``, and ``corrupt`` (purged-entry) events for
+    reporting; every purge is additionally appended to
+    ``<root>/corrupt.log`` so ``repro cache info`` can report lifetime
+    corruption, not just this process's.
     """
 
     def __init__(self, root: Optional[str] = None) -> None:
@@ -129,6 +135,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     # -- addressing ----------------------------------------------------
     def digest(self, key: dict) -> str:
@@ -157,16 +164,40 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return _MISS
-        except Exception:
-            # Corrupt, truncated, or foreign entry: purge and miss.
+        except Exception as exc:
+            # Corrupt, truncated, or foreign entry: purge and miss —
+            # but never silently (``corrupt`` counter + on-disk log).
             try:
                 os.remove(path)
             except OSError:
                 pass
             self.misses += 1
+            self.corrupt += 1
+            self._log_corrupt(digest, exc)
             return _MISS
         self.hits += 1
         return entry["result"]
+
+    def _corrupt_log_path(self) -> str:
+        return os.path.join(self.root, "corrupt.log")
+
+    def _log_corrupt(self, digest: str, exc: Exception) -> None:
+        """Best-effort append to the lifetime corruption tally."""
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            with open(self._corrupt_log_path(), "a",
+                      encoding="utf-8") as fh:
+                fh.write(f"{digest} {type(exc).__name__}: {exc}\n")
+        except OSError:
+            pass
+
+    def corrupt_purged(self) -> int:
+        """Lifetime count of purged corrupt entries (from the log)."""
+        try:
+            with open(self._corrupt_log_path(), "rb") as fh:
+                return sum(1 for line in fh if line.strip())
+        except OSError:
+            return 0
 
     def store(self, digest: str, key: dict, result: Any) -> None:
         """Atomically persist ``result`` under ``digest``."""
@@ -200,7 +231,8 @@ class ResultCache:
         return sorted(found)
 
     def info(self) -> dict:
-        """``{"root", "entries", "bytes"}`` for ``repro cache info``."""
+        """``{"root", "entries", "bytes", "corrupt_purged"}`` for
+        ``repro cache info``."""
         paths = self._entries()
         total = 0
         for path in paths:
@@ -208,16 +240,22 @@ class ResultCache:
                 total += os.path.getsize(path)
             except OSError:
                 pass
-        return {"root": self.root, "entries": len(paths), "bytes": total}
+        return {"root": self.root, "entries": len(paths), "bytes": total,
+                "corrupt_purged": self.corrupt_purged()}
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry (and reset the corruption tally); returns
+        the number of entries removed."""
         paths = self._entries()
         for path in paths:
             try:
                 os.remove(path)
             except OSError:
                 pass
+        try:
+            os.remove(self._corrupt_log_path())
+        except OSError:
+            pass
         return len(paths)
 
 

@@ -1,0 +1,180 @@
+"""Crash-safe sweep journal: resumable JSON-lines progress records.
+
+Every sweep that carries cacheable jobs appends one JSON line per
+*freshly computed* result to a journal file under
+``.repro-cache/journal/`` (or ``<cache root>/journal/``).  The file is
+named after the *sweep id* — a SHA-256 over the submission-ordered job
+digests — so re-running the identical sweep finds the identical
+journal.  Each line is self-contained::
+
+    {"journal": 1, "digest": "<job sha256>", "index": 3,
+     "label": "sweep:mi-ma-ec", "result": "<base64 pickle>"}
+
+On a clean finish the journal is deleted; after a crash, an interrupt,
+or a quarantined poison job it survives, and a ``--resume`` run replays
+the recorded results (keyed on job digest, so a code or parameter
+change — which changes every digest *and* the sweep id — can never
+replay stale work) and executes only what is missing.  Corrupt or
+truncated lines are counted and skipped individually: one garbled line
+costs exactly one re-executed job, never the whole journal.
+
+Results round-trip through :mod:`pickle` exactly like the result cache,
+so a resumed sweep is **bit-identical** to an uninterrupted run.  The
+journal embeds results (rather than pointing into the cache) so resume
+works even for ``--no-cache`` sweeps and after a ``repro cache clear``.
+Writes are line-buffered and flushed per record; the journal assumes a
+single writer per sweep id (concurrent identical sweeps race benignly —
+the loser's lines are duplicates with identical content).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from typing import Any, Optional
+
+#: Bumped whenever the journal line layout changes.
+JOURNAL_SCHEMA = 1
+
+
+def default_journal_root() -> str:
+    """``<cache root>/journal`` for the process-default cache root."""
+    return os.path.join(
+        os.path.abspath(os.environ.get("REPRO_CACHE_DIR", ".repro-cache")),
+        "journal")
+
+
+def sweep_id(digests: list[Optional[str]]) -> str:
+    """Identity of a sweep: SHA-256 over its submission-ordered job
+    digests (``None`` — an uncacheable job — hashes as ``"-"``)."""
+    material = json.dumps([d or "-" for d in digests])
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class SweepJournal:
+    """Append-only JSONL record of one sweep's completed jobs."""
+
+    def __init__(self, root: str, sweep: str) -> None:
+        self.root = os.path.abspath(root)
+        self.sweep = sweep
+        self.path = os.path.join(self.root, f"sweep-{sweep[:32]}.jsonl")
+        self.corrupt_lines = 0
+        self.records = 0
+        self._fh = None
+        self._append = False
+
+    @classmethod
+    def for_digests(cls, root: str,
+                    digests: list[Optional[str]]) -> "SweepJournal":
+        return cls(root, sweep_id(digests))
+
+    # -- read ----------------------------------------------------------
+    def load(self) -> dict[str, Any]:
+        """``{digest: result}`` for every intact journal line.
+
+        Corrupt, truncated, or foreign-schema lines increment
+        :attr:`corrupt_lines` and are skipped — each costs one
+        re-executed job on resume, nothing more.  A missing file is an
+        empty journal.  After a load the journal appends (a resumed
+        sweep extends its predecessor's record).
+        """
+        self._append = True
+        recovered: dict[str, Any] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return recovered
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                if entry.get("journal") != JOURNAL_SCHEMA:
+                    raise ValueError("journal schema mismatch")
+                digest = entry["digest"]
+                if not isinstance(digest, str) or len(digest) != 64:
+                    raise ValueError("malformed digest")
+                result = pickle.loads(base64.b64decode(entry["result"]))
+            except Exception:
+                self.corrupt_lines += 1
+                continue
+            recovered[digest] = result
+        return recovered
+
+    # -- write ---------------------------------------------------------
+    def record(self, digest: str, index: int, label: str,
+               result: Any) -> None:
+        """Append one completed job (flushed immediately, so the line
+        survives the parent dying right after)."""
+        if self._fh is None:
+            os.makedirs(self.root, exist_ok=True)
+            self._fh = open(self.path, "a" if self._append else "w",
+                            encoding="utf-8")
+        blob = base64.b64encode(
+            pickle.dumps(result,
+                         protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+        line = json.dumps({"journal": JOURNAL_SCHEMA, "digest": digest,
+                           "index": index, "label": label,
+                           "result": blob})
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        """Flush and close, keeping the file for a later ``--resume``."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def discard(self) -> None:
+        """Close and delete — the sweep finished cleanly."""
+        self.close()
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Maintenance (``repro cache info`` / ``repro cache clear``)
+# ----------------------------------------------------------------------
+def _journal_paths(root: str) -> list[str]:
+    if not os.path.isdir(root):
+        return []
+    return sorted(os.path.join(root, name) for name in os.listdir(root)
+                  if name.endswith(".jsonl"))
+
+
+def journal_info(root: Optional[str] = None) -> dict:
+    """``{"root", "journals", "entries", "bytes"}`` — one journal file
+    per interrupted (or failure-quarantined) sweep awaiting resume."""
+    root = os.path.abspath(root) if root else default_journal_root()
+    paths = _journal_paths(root)
+    entries = total = 0
+    for path in paths:
+        try:
+            total += os.path.getsize(path)
+            with open(path, "rb") as fh:
+                entries += sum(1 for line in fh if line.strip())
+        except OSError:
+            pass
+    return {"root": root, "journals": len(paths), "entries": entries,
+            "bytes": total}
+
+
+def clear_journals(root: Optional[str] = None) -> int:
+    """Delete every journal file under ``root``; returns the count."""
+    root = os.path.abspath(root) if root else default_journal_root()
+    paths = _journal_paths(root)
+    for path in paths:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+    return len(paths)

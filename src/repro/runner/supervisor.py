@@ -1,0 +1,421 @@
+"""Supervised execution of sweep jobs: watchdogs, retries, recovery.
+
+The bare ``ProcessPoolExecutor.map`` the scheduler used historically had
+an all-or-nothing failure mode: one OOM-killed worker raised
+``BrokenProcessPoolError`` and discarded every in-flight *and* finished
+result of a multi-hour sweep.  This module supervises the pool the same
+way the simulated DSM supervises its invalidation transactions
+(``txn_timeout`` / ``txn_max_retries`` / ``txn_backoff`` — see
+``docs/FAULTS.md``): asynchronous worker failures are expected events
+with typed, bounded recovery, never silent sweep aborts.
+
+* **Per-job watchdog.**  Every pooled job gets a wall-clock deadline
+  (:attr:`RetryPolicy.timeout`, scaled by :attr:`RetryPolicy.backoff`
+  per attempt).  A job that blows its deadline has wedged its worker —
+  the pool is killed, innocents are requeued uncharged, and the hung
+  job is charged one attempt.
+* **Bounded retries with backoff.**  A job that raises, times out, or
+  loses its worker is relaunched up to :attr:`RetryPolicy.max_retries`
+  times with an exponentially growing settle delay.
+* **Poison-job quarantine.**  After retry exhaustion the job is recorded
+  as a :class:`JobFailure` (kind + child traceback); the rest of the
+  sweep *keeps running* and the caller raises one typed
+  :class:`JobFailed` at the end, when every salvageable result has
+  already landed in the cache and the sweep journal.
+* **Graceful pool degradation.**  The first broken pool is rebuilt and
+  its in-flight jobs requeued; if the rebuilt pool breaks again the
+  remaining jobs fall back to serial in-parent execution rather than
+  aborting the sweep.
+* **Interrupt hygiene.**  Any :class:`BaseException` escaping the
+  supervision loop (``KeyboardInterrupt`` included) terminates the
+  worker processes — no orphans — before re-raising; the caller's
+  incremental journal already holds every finished result.
+
+Workers never let job exceptions cross the pickling boundary raw:
+:func:`execute_job` converts them to :class:`WorkerFailure` values
+carrying the formatted child traceback, so the parent can distinguish
+"the job raised" (retryable, attributable) from "the pool broke"
+(worker lost — culprit unknown).
+
+Serial execution (``workers=1``) shares the retry machinery but has no
+watchdog: a wall-clock timeout cannot preempt the parent's own frame.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import traceback as traceback_mod
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failure-handling knobs for one sweep (see ``SystemParameters``).
+
+    ``timeout`` is the base per-job wall-clock watchdog in seconds
+    (``0`` disables it); it and the parent-side relaunch delay both
+    scale by ``backoff`` on every successive attempt, mirroring the
+    ``txn_timeout``/``txn_max_retries``/``txn_backoff`` family of the
+    simulated recovery protocol.  ``max_retries=0`` quarantines on the
+    first failure.
+    """
+
+    timeout: float = 300.0
+    max_retries: int = 2
+    backoff: float = 2.0
+    #: Base parent-side settle delay before a retry, in seconds (scaled
+    #: by ``backoff`` per attempt, capped at :attr:`max_delay`).
+    retry_delay: float = 0.05
+    max_delay: float = 2.0
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def attempt_timeout(self, attempts: int) -> float:
+        """Watchdog seconds for the attempt after ``attempts`` failures
+        (``inf`` when the watchdog is disabled)."""
+        if self.timeout <= 0:
+            return math.inf
+        return self.timeout * self.backoff ** attempts
+
+    def attempt_delay(self, attempts: int) -> float:
+        """Settle delay before relaunching after ``attempts`` failures."""
+        return min(self.retry_delay * self.backoff ** max(attempts - 1, 0),
+                   self.max_delay)
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Picklable stand-in a worker returns when its job raised."""
+
+    error: str
+    traceback: str
+
+
+@dataclass
+class JobFailure:
+    """One quarantined job: why it failed and the evidence."""
+
+    index: int
+    label: str
+    #: ``"error"`` (the job raised), ``"timeout"`` (watchdog), or
+    #: ``"worker-lost"`` (its pool broke — culprit unattributable).
+    kind: str
+    attempts: int
+    traceback: str
+
+
+class JobFailed(RuntimeError):
+    """A sweep finished with quarantined (poison) jobs.
+
+    Raised *after* the sweep drains, so every healthy job's result has
+    already been stored incrementally — re-running with ``--resume``
+    (or a warm cache) only re-executes the quarantined jobs.  Carries
+    every :class:`JobFailure` in :attr:`failures`; the message embeds
+    the first child traceback.
+    """
+
+    def __init__(self, failures: list[JobFailure]) -> None:
+        first = failures[0]
+        super().__init__(
+            f"{len(failures)} sweep job(s) quarantined; first: "
+            f"{first.label!r} [{first.kind}] after {first.attempts} "
+            f"attempt(s)\n--- child traceback ---\n{first.traceback}")
+        self.failures = list(failures)
+
+    @property
+    def label(self) -> str:
+        return self.failures[0].label
+
+    @property
+    def kind(self) -> str:
+        return self.failures[0].kind
+
+    @property
+    def attempts(self) -> int:
+        return self.failures[0].attempts
+
+    @property
+    def child_traceback(self) -> str:
+        return self.failures[0].traceback
+
+
+@dataclass
+class _Entry:
+    """Supervision state for one pending job."""
+
+    index: int
+    job: Any
+    attempts: int = 0          # failed attempts so far
+
+
+def execute_job(job) -> Any:
+    """Worker entry point (module-level so it pickles by reference).
+
+    Job exceptions become :class:`WorkerFailure` values instead of
+    crossing the future boundary raw, preserving the child traceback
+    verbatim and keeping "job raised" distinguishable from "worker
+    died".
+    """
+    try:
+        return job.fn(*job.args, **job.kwargs)
+    except Exception as exc:
+        return WorkerFailure(f"{type(exc).__name__}: {exc}",
+                             traceback_mod.format_exc())
+
+
+def _label(entry: _Entry) -> str:
+    return entry.job.label or getattr(entry.job.fn, "__name__", "job")
+
+
+def run_supervised(entries: list[_Entry], workers: int,
+                   policy: RetryPolicy,
+                   on_result: Callable[[int, Any, int], None],
+                   note: Optional[Callable[[str], None]] = None
+                   ) -> tuple[list[JobFailure], dict]:
+    """Run ``entries`` under supervision; returns ``(failures, events)``.
+
+    ``on_result(index, result, attempts)`` fires in the parent as each
+    job lands (completion order) — callers use it for incremental cache
+    stores, journaling, and streamed progress.  ``events`` counts
+    ``retries``, ``rebuilds``, ``pool_breaks``, and whether the sweep
+    ended in ``serial_fallback``.  Quarantined jobs come back as
+    :class:`JobFailure` records; nothing is raised here except
+    pass-through :class:`BaseException` (after worker cleanup).
+    """
+    note = note or (lambda msg: None)
+    events = {"retries": 0, "rebuilds": 0, "pool_breaks": 0,
+              "serial_fallback": False}
+    if workers <= 1 or len(entries) == 1:
+        failures = _run_serial(deque(entries), policy, on_result, note,
+                               events)
+    else:
+        failures = _run_pool(entries, workers, policy, on_result, note,
+                             events)
+    return failures, events
+
+
+def _run_serial(queue: deque, policy: RetryPolicy, on_result, note,
+                events) -> list[JobFailure]:
+    """In-parent execution with retries (no watchdog — a wall-clock
+    timeout cannot preempt the parent's own frame)."""
+    failures: list[JobFailure] = []
+    while queue:
+        entry = queue.popleft()
+        outcome = execute_job(entry.job)
+        if isinstance(outcome, WorkerFailure):
+            entry.attempts += 1
+            if entry.attempts >= policy.max_attempts:
+                failures.append(JobFailure(entry.index, _label(entry),
+                                           "error", entry.attempts,
+                                           outcome.traceback))
+                note(f"job {_label(entry)} quarantined after "
+                     f"{entry.attempts} attempt(s): {outcome.error}")
+            else:
+                events["retries"] += 1
+                note(f"job {_label(entry)} raised {outcome.error} "
+                     f"(attempt {entry.attempts}/{policy.max_attempts}); "
+                     f"retrying")
+                time.sleep(policy.attempt_delay(entry.attempts))
+                queue.append(entry)
+        else:
+            on_result(entry.index, outcome, entry.attempts + 1)
+    return failures
+
+
+def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Forcefully stop a pool: cancel queued work, SIGTERM (then
+    SIGKILL) every worker, and reap them — used for watchdog kills,
+    broken pools, and interrupt cleanup so no orphans survive."""
+    if pool is None:
+        return
+    # _processes is CPython's worker table (stable since 3.3); fall
+    # back to a plain shutdown if a future version renames it.
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:                     # pragma: no cover - best effort
+        pass
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:                 # pragma: no cover - best effort
+            pass
+    deadline = time.monotonic() + 2.0
+    for proc in procs:
+        try:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(0.5)
+        except Exception:                 # pragma: no cover - best effort
+            pass
+
+
+def _run_pool(entries: list[_Entry], workers: int, policy: RetryPolicy,
+              on_result, note, events) -> list[JobFailure]:
+    failures: list[JobFailure] = []
+    queue: deque = deque(entries)
+    delayed: list[tuple[float, _Entry]] = []   # (ready_at, entry)
+    in_flight: dict = {}                       # future -> (entry, deadline)
+    pool: Optional[ProcessPoolExecutor] = \
+        ProcessPoolExecutor(max_workers=min(workers, len(queue)))
+    serial_rest: Optional[deque] = None
+
+    def charge(entry: _Entry, kind: str, tb: str) -> None:
+        """One failed attempt: quarantine on exhaustion, else schedule a
+        backoff retry."""
+        entry.attempts += 1
+        if entry.attempts >= policy.max_attempts:
+            failures.append(JobFailure(entry.index, _label(entry), kind,
+                                       entry.attempts, tb))
+            note(f"job {_label(entry)} quarantined after "
+                 f"{entry.attempts} attempt(s) [{kind}]")
+        else:
+            events["retries"] += 1
+            delayed.append((time.monotonic()
+                            + policy.attempt_delay(entry.attempts), entry))
+
+    def handle_break() -> None:
+        """The pool died under us: requeue casualties (charged — the
+        culprit is unattributable), then rebuild once or, on a repeat
+        break, fall back to serial in-parent execution."""
+        nonlocal pool, serial_rest
+        events["pool_breaks"] += 1
+        casualties = [entry for entry, _dl in in_flight.values()]
+        in_flight.clear()
+        _terminate_pool(pool)
+        pool = None
+        for entry in casualties:
+            charge(entry, "worker-lost",
+                   "worker process died unexpectedly (pool broken) — "
+                   "no child traceback available")
+        if events["pool_breaks"] > 1:
+            events["serial_fallback"] = True
+            note("worker pool broke again — finishing the sweep "
+                 "serially in the parent process")
+            rest = sorted([e for _r, e in delayed] + list(queue),
+                          key=lambda e: e.index)
+            queue.clear()
+            delayed.clear()
+            serial_rest = deque(rest)
+            return
+        events["rebuilds"] += 1
+        remaining = len(queue) + len(delayed)
+        note(f"worker pool broken — rebuilding it and requeuing "
+             f"{len(casualties)} in-flight job(s)")
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, max(remaining, 1)))
+
+    try:
+        while queue or delayed or in_flight:
+            now = time.monotonic()
+            if delayed:
+                due = [pair for pair in delayed if pair[0] <= now]
+                if due:
+                    delayed = [p for p in delayed if p[0] > now]
+                    queue.extend(entry for _r, entry in due)
+
+            while queue and len(in_flight) < workers:
+                entry = queue.popleft()
+                try:
+                    future = pool.submit(execute_job, entry.job)
+                except BrokenProcessPool:
+                    queue.appendleft(entry)
+                    handle_break()
+                    break
+                deadline = now + policy.attempt_timeout(entry.attempts)
+                in_flight[future] = (entry, deadline)
+            if serial_rest is not None:
+                break
+
+            if not in_flight:
+                if delayed:
+                    time.sleep(max(0.0, min(r for r, _e in delayed)
+                                   - time.monotonic()))
+                continue
+
+            horizon = min(dl for _e, dl in in_flight.values())
+            if delayed:
+                horizon = min(horizon, min(r for r, _e in delayed))
+            wait_s = horizon - time.monotonic()
+            if not math.isfinite(wait_s) or wait_s > 0.5:
+                wait_s = 0.5
+            done, _not_done = wait(set(in_flight), timeout=max(wait_s, 0.01),
+                                   return_when=FIRST_COMPLETED)
+
+            broke = False
+            for future in done:
+                entry, deadline = in_flight.pop(future)
+                exc = future.exception()
+                if isinstance(exc, BrokenProcessPool):
+                    # Handled wholesale below: leave the entry with the
+                    # other casualties so the break is charged once.
+                    in_flight[future] = (entry, deadline)
+                    broke = True
+                    continue
+                if exc is not None:
+                    charge(entry, "error", "".join(
+                        traceback_mod.format_exception(
+                            type(exc), exc, exc.__traceback__)))
+                    continue
+                outcome = future.result()
+                if isinstance(outcome, WorkerFailure):
+                    if entry.attempts + 1 < policy.max_attempts:
+                        note(f"job {_label(entry)} raised "
+                             f"{outcome.error} (attempt "
+                             f"{entry.attempts + 1}/"
+                             f"{policy.max_attempts}); retrying")
+                    charge(entry, "error", outcome.traceback)
+                else:
+                    on_result(entry.index, outcome, entry.attempts + 1)
+            if broke:
+                handle_break()
+                if serial_rest is not None:
+                    break
+                continue
+
+            now = time.monotonic()
+            expired = [future for future, (_e, dl) in in_flight.items()
+                       if dl <= now]
+            if expired:
+                # A hung job has wedged its worker; the only reclaim is
+                # to kill the pool.  Innocent in-flight jobs are
+                # requeued uncharged.
+                events["rebuilds"] += 1
+                for future in expired:
+                    entry, _dl = in_flight.pop(future)
+                    note(f"job {_label(entry)} exceeded its "
+                         f"{policy.attempt_timeout(entry.attempts):g}s "
+                         f"watchdog (attempt {entry.attempts + 1}/"
+                         f"{policy.max_attempts}); killing the worker "
+                         f"pool")
+                    charge(entry, "timeout",
+                           f"job exceeded its "
+                           f"{policy.attempt_timeout(entry.attempts):g}s "
+                           f"wall-clock watchdog")
+                bystanders = [entry for entry, _dl in in_flight.values()]
+                in_flight.clear()
+                _terminate_pool(pool)
+                queue.extend(bystanders)
+                remaining = len(queue) + len(delayed)
+                pool = ProcessPoolExecutor(
+                    max_workers=min(workers, max(remaining, 1)))
+        if serial_rest is not None:
+            failures.extend(_run_serial(serial_rest, policy, on_result,
+                                        note, events))
+    except BaseException:
+        # KeyboardInterrupt (possibly raised by the caller's progress
+        # callback) or any internal error: leave no orphan workers.
+        _terminate_pool(pool)
+        raise
+    else:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    return failures

@@ -95,6 +95,51 @@ def test_cache_info_and_clear(capsys, tmp_path):
     assert "entries:    0" in out
 
 
+def test_cache_info_reports_corruption_and_journals(capsys, tmp_path):
+    import os
+
+    import repro.runner as runner
+
+    cache = runner.ResultCache(str(tmp_path))
+    d = cache.digest({"k": 1})
+    cache.store(d, {"k": 1}, "v")
+    with open(cache._path(d), "wb") as fh:
+        fh.write(b"bit rot")
+    assert cache.load(d, {"k": 1}) is runner.MISS  # purged + counted
+    journal = runner.SweepJournal.for_digests(
+        os.path.join(str(tmp_path), "journal"), ["a" * 64])
+    journal.record("a" * 64, 0, "j0", 1)
+    journal.close()
+    code, out = run_cli(capsys, "cache", "info", "--dir", str(tmp_path))
+    assert code == 0
+    assert "corrupt entries purged: 1" in out
+    assert "1 interrupted sweep(s) awaiting --resume" in out
+    assert "1 job result(s)" in out
+    code, out = run_cli(capsys, "cache", "clear", "--dir", str(tmp_path))
+    assert code == 0
+    assert "1 journal(s)" in out
+    code, out = run_cli(capsys, "cache", "info", "--dir", str(tmp_path))
+    assert "0 interrupted sweep(s)" in out
+
+
+def test_sweep_accepts_resume_flag(capsys):
+    argv = ["--schemes", "ui-ua", "--degrees", "2", "--per-degree", "2",
+            "--mesh", "4"]
+    code_a, out_a = run_cli(capsys, "sweep", *argv)
+    # With no journal on disk --resume is a no-op: identical output.
+    code_b, out_b = run_cli(capsys, "sweep", *argv, "--resume")
+    assert code_a == code_b == 0
+    assert out_a == out_b
+
+
+def test_faults_accepts_resume_flag(capsys):
+    code, out = run_cli(capsys, "faults", "--schemes", "ui-ua",
+                        "--drop-probs", "0.0", "--degree", "4",
+                        "--per-point", "2", "--mesh", "4", "--resume")
+    assert code == 0
+    assert "completion_rate" in out
+
+
 def test_tables(capsys):
     code, out = run_cli(capsys, "tables", "--which", "4")
     assert code == 0

@@ -77,16 +77,25 @@ def test_run_jobs_serial_stays_in_process():
     assert all(pid == os.getpid() for _i, pid in results)
 
 
-def test_run_jobs_progress_reports_in_order(tmp_path):
+def test_run_jobs_progress_streams_and_summarizes(tmp_path):
     cache = ResultCache(str(tmp_path))
     jobs = [Job(fn=_add, args=(i, 0), key={"i": i}, label=f"j{i}")
             for i in range(3)]
-    run_jobs(jobs, workers=1, cache=cache)
+    fresh_lines = []
+    run_jobs(jobs, workers=1, cache=cache, progress=fresh_lines.append)
+    # One line per job as it lands, plus a final summary with counts.
+    assert [line.split()[0] for line in fresh_lines[:-1]] \
+        == ["[1/3]", "[2/3]", "[3/3]"]
+    assert all("ran" in line for line in fresh_lines[:-1])
+    assert fresh_lines[-1] == "done: 0 hit / 3 ran / 0 retried / " \
+                              "0 failed (3 job(s))"
     lines = []
     run_jobs(jobs, workers=1, cache=cache, progress=lines.append)
-    assert [line.split()[0] for line in lines] == ["[1/3]", "[2/3]",
-                                                  "[3/3]"]
-    assert all("cache hit" in line for line in lines)
+    assert [line.split()[0] for line in lines[:-1]] == ["[1/3]", "[2/3]",
+                                                       "[3/3]"]
+    assert all("cache hit" in line for line in lines[:-1])
+    assert lines[-1] == "done: 3 hit / 0 ran / 0 retried / " \
+                        "0 failed (3 job(s))"
 
 
 def test_resolve_jobs_sentinel_and_validation():

@@ -1,0 +1,378 @@
+"""Supervised sweep execution: watchdogs, retries, journaled resume.
+
+Fault-injection twins of the golden determinism tests in
+``test_runner.py``: a SIGKILLed worker, a hung job, a poison job, an
+interrupted sweep, and a corrupted journal or cache entry must each
+recover to the *exact* result stream of an undisturbed serial run —
+or fail typed (:class:`repro.runner.JobFailed`), never silently.
+Faults are injected through one-shot flag files (workers fork, so they
+share the test's filesystem), keeping every scenario deterministic.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.config import ConfigError, paper_parameters
+from repro.runner import (JobFailed, Job, ResultCache, RetryPolicy,
+                          SweepJournal, WorkerFailure, clear_journals,
+                          journal_info, key_digest, resolve_policy,
+                          run_jobs, run_supervised)
+from repro.runner.journal import sweep_id
+from repro.runner.supervisor import _Entry, execute_job
+
+FAST = RetryPolicy(timeout=30.0, max_retries=2, backoff=1.0,
+                   retry_delay=0.01)
+
+
+# ----------------------------------------------------------------------
+# Fault-injection payloads (module-level so they pickle by reference)
+# ----------------------------------------------------------------------
+def _double(x):
+    return x * 2
+
+
+def _fault_once(x, flag, fault):
+    """Return ``x * 2``, but on the first call (per flag file) die the
+    requested way first — retries then run clean."""
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write(fault)
+        if fault == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault == "hang":
+            time.sleep(60)
+        elif fault == "raise":
+            raise ValueError(f"transient boom ({x})")
+    return x * 2
+
+
+def _always_raise(x):
+    raise RuntimeError(f"poison payload {x}")
+
+
+def _always_hang(x):
+    time.sleep(60)
+
+
+def _kill_n_times(x, flag_dir, times):
+    """SIGKILL the worker on the first ``times`` attempts, then run."""
+    marks = sum(1 for name in os.listdir(flag_dir)
+                if name.startswith("mark"))
+    if marks < times:
+        with open(os.path.join(flag_dir, f"mark{marks}-{os.getpid()}"),
+                  "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 2
+
+
+def _jobs(n, keyed=True):
+    return [Job(fn=_double, args=(i,),
+                key={"fn": "supervisor-test", "i": i} if keyed else None,
+                label=f"j{i}")
+            for i in range(n)]
+
+
+class _InterruptAfter:
+    """Progress callback raising KeyboardInterrupt after ``n`` fresh
+    results — a deterministic Ctrl-C."""
+
+    def __init__(self, after):
+        self.after = after
+        self.landed = 0
+
+    def __call__(self, line):
+        if line.startswith("[") and "ran" in line:
+            self.landed += 1
+            if self.landed >= self.after:
+                raise KeyboardInterrupt
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / knob plumbing
+# ----------------------------------------------------------------------
+def test_retry_policy_schedules():
+    policy = RetryPolicy(timeout=10.0, max_retries=3, backoff=2.0,
+                         retry_delay=0.1, max_delay=1.0)
+    assert policy.max_attempts == 4
+    assert policy.attempt_timeout(0) == 10.0
+    assert policy.attempt_timeout(2) == 40.0
+    assert RetryPolicy(timeout=0).attempt_timeout(5) == float("inf")
+    assert policy.attempt_delay(1) == 0.1
+    assert policy.attempt_delay(2) == 0.2
+    assert policy.attempt_delay(10) == 1.0       # capped
+
+
+def test_resolve_policy_maps_params_knobs():
+    params = paper_parameters(4, job_timeout=7.5, job_max_retries=5,
+                              job_backoff=3)
+    policy = resolve_policy(params)
+    assert policy.timeout == 7.5
+    assert policy.max_retries == 5
+    assert policy.backoff == 3.0
+
+
+def test_job_knob_validation():
+    params = paper_parameters(4)
+    assert params.job_timeout == 300.0
+    assert params.job_max_retries == 2
+    assert params.job_backoff == 2
+    with pytest.raises(ConfigError):
+        paper_parameters(4, job_timeout=-1.0)
+    with pytest.raises(ConfigError):
+        paper_parameters(4, job_max_retries=-1)
+    with pytest.raises(ConfigError):
+        paper_parameters(4, job_backoff=0)
+
+
+def test_execute_job_wraps_exceptions():
+    outcome = execute_job(Job(fn=_always_raise, args=(3,)))
+    assert isinstance(outcome, WorkerFailure)
+    assert "poison payload 3" in outcome.error
+    assert "RuntimeError" in outcome.traceback
+
+
+# ----------------------------------------------------------------------
+# Recovery scenarios: each must converge to the undisturbed stream
+# ----------------------------------------------------------------------
+def test_sigkilled_worker_recovers_bit_identical(tmp_path):
+    clean = run_jobs(_jobs(4), workers=1,
+                     journal_dir=str(tmp_path / "journal"))
+    jobs = _jobs(4)
+    jobs[1] = Job(fn=_fault_once,
+                  args=(1, str(tmp_path / "kill-flag"), "kill"),
+                  key=jobs[1].key, label="j1")
+    notes = []
+    rows = run_jobs(jobs, workers=2, policy=FAST,
+                    journal_dir=str(tmp_path / "journal"),
+                    progress=notes.append)
+    assert rows == clean
+    assert any("rebuilding" in ln for ln in notes)
+
+
+def test_hung_job_times_out_and_retries(tmp_path):
+    clean = run_jobs(_jobs(3), workers=1,
+                     journal_dir=str(tmp_path / "journal"))
+    jobs = _jobs(3)
+    jobs[0] = Job(fn=_fault_once,
+                  args=(0, str(tmp_path / "hang-flag"), "hang"),
+                  key=jobs[0].key, label="j0")
+    notes = []
+    rows = run_jobs(jobs, workers=2,
+                    policy=RetryPolicy(timeout=1.0, max_retries=2,
+                                       backoff=1.0, retry_delay=0.01),
+                    journal_dir=str(tmp_path / "journal"),
+                    progress=notes.append)
+    assert rows == clean
+    assert any("watchdog" in ln for ln in notes)
+    assert any("retried" not in ln and "ran (attempt 2)" in ln
+               for ln in notes)
+
+
+def test_transient_exception_retries_serially(tmp_path):
+    jobs = [Job(fn=_fault_once,
+                args=(5, str(tmp_path / "raise-flag"), "raise"),
+                label="flaky")]
+    notes = []
+    rows = run_jobs(jobs, workers=1, policy=FAST, progress=notes.append)
+    assert rows == [10]
+    assert any("retrying" in ln for ln in notes)
+    assert notes[-1] == "done: 0 hit / 1 ran / 1 retried / " \
+                        "0 failed (1 job(s))"
+
+
+def test_poison_job_quarantines_with_child_traceback(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    jobs = _jobs(3)
+    jobs[2] = Job(fn=_always_raise, args=(2,), key=jobs[2].key,
+                  label="poison")
+    with pytest.raises(JobFailed) as err:
+        run_jobs(jobs, workers=2, cache=cache,
+                 policy=RetryPolicy(timeout=30.0, max_retries=1,
+                                    backoff=1.0, retry_delay=0.01))
+    failure = err.value
+    assert failure.label == "poison"
+    assert failure.kind == "error"
+    assert failure.attempts == 2
+    assert "poison payload 2" in failure.child_traceback
+    assert "RuntimeError" in str(failure)
+    # The sweep drained first: both healthy results are already stored.
+    assert cache.stores == 2
+    # The journal survives for --resume and holds the healthy results.
+    root = os.path.join(cache.root, "journal")
+    assert journal_info(root)["journals"] == 1
+    assert journal_info(root)["entries"] == 2
+
+
+def test_persistent_hang_quarantines_as_timeout(tmp_path):
+    jobs = [Job(fn=_always_hang, args=(0,),
+                key={"fn": "supervisor-test", "hang": True}, label="wedge"),
+            _jobs(2)[1]]
+    with pytest.raises(JobFailed) as err:
+        run_jobs(jobs, workers=2,
+                 policy=RetryPolicy(timeout=0.5, max_retries=1,
+                                    backoff=1.0, retry_delay=0.01),
+                 journal_dir=str(tmp_path / "journal"))
+    assert err.value.kind == "timeout"
+    assert "watchdog" in err.value.child_traceback
+
+
+def test_double_pool_break_falls_back_to_serial(tmp_path):
+    flag_dir = tmp_path / "flags"
+    flag_dir.mkdir()
+    entries = [_Entry(index=0, job=Job(fn=_kill_n_times,
+                                       args=(7, str(flag_dir), 2),
+                                       label="killer")),
+               _Entry(index=1, job=Job(fn=_double, args=(1,), label="ok"))]
+    landed = {}
+    failures, events = run_supervised(
+        entries, workers=2,
+        policy=RetryPolicy(timeout=30.0, max_retries=2, backoff=1.0,
+                           retry_delay=0.01),
+        on_result=lambda i, result, attempts: landed.__setitem__(i, result))
+    assert failures == []
+    assert landed == {0: 14, 1: 2}
+    assert events["pool_breaks"] == 2
+    assert events["serial_fallback"] is True
+
+
+def test_interrupt_flushes_journal_then_resume_is_identical(tmp_path):
+    journal_dir = str(tmp_path / "journal")
+    clean = run_jobs(_jobs(4), workers=1, journal_dir=journal_dir)
+    with pytest.raises(KeyboardInterrupt):
+        run_jobs(_jobs(4), workers=1, journal_dir=journal_dir,
+                 progress=_InterruptAfter(after=2))
+    # The journal survived the interrupt with both finished results.
+    assert journal_info(journal_dir)["entries"] == 2
+    lines = []
+    rows = run_jobs(_jobs(4), workers=1, journal_dir=journal_dir,
+                    resume=True, progress=lines.append)
+    assert rows == clean
+    assert sum(ln.startswith("[") and "resumed from journal" in ln
+               for ln in lines) == 2
+    assert lines[-1].endswith("— 2 resumed from journal")
+    # A clean finish discards the journal.
+    assert journal_info(journal_dir)["journals"] == 0
+
+
+def test_resume_skips_exactly_the_corrupt_journal_line(tmp_path):
+    journal_dir = str(tmp_path / "journal")
+    clean = run_jobs(_jobs(3), workers=1, journal_dir=journal_dir)
+    with pytest.raises(KeyboardInterrupt):
+        run_jobs(_jobs(3), workers=1, journal_dir=journal_dir,
+                 progress=_InterruptAfter(after=2))
+    journal = SweepJournal.for_digests(
+        journal_dir, [key_digest(j.key) for j in _jobs(3)])
+    with open(journal.path, "r+", encoding="utf-8") as fh:
+        lines = fh.readlines()
+        lines[0] = "torn-halfway-through-a-write\n"
+        fh.seek(0)
+        fh.truncate()
+        fh.writelines(lines)
+    progress = []
+    rows = run_jobs(_jobs(3), workers=1, journal_dir=journal_dir,
+                    resume=True, progress=progress.append)
+    assert rows == clean
+    assert any("skipped 1 corrupt line(s)" in ln for ln in progress)
+    assert sum(ln.startswith("[") and "resumed from journal" in ln
+               for ln in progress) == 1
+
+
+def test_non_resume_run_truncates_stale_journal(tmp_path):
+    journal_dir = str(tmp_path / "journal")
+    with pytest.raises(KeyboardInterrupt):
+        run_jobs(_jobs(3), workers=1, journal_dir=journal_dir,
+                 progress=_InterruptAfter(after=1))
+    assert journal_info(journal_dir)["entries"] == 1
+    # Re-running *without* --resume must not trust the stale file.
+    lines = []
+    run_jobs(_jobs(3), workers=1, journal_dir=journal_dir,
+             progress=lines.append)
+    assert not any("resumed" in ln for ln in lines)
+    assert journal_info(journal_dir)["journals"] == 0
+
+
+def test_keyless_jobs_are_never_journaled(tmp_path):
+    journal_dir = str(tmp_path / "journal")
+    rows = run_jobs(_jobs(3, keyed=False), workers=1,
+                    journal_dir=journal_dir)
+    assert rows == [0, 2, 4]
+    assert not os.path.isdir(journal_dir)
+
+
+# ----------------------------------------------------------------------
+# Journal mechanics
+# ----------------------------------------------------------------------
+def test_sweep_id_tracks_digests():
+    a = sweep_id(["a" * 64, "b" * 64])
+    assert a == sweep_id(["a" * 64, "b" * 64])
+    assert a != sweep_id(["b" * 64, "a" * 64])     # order matters
+    assert a != sweep_id(["a" * 64, None])         # keyless slot matters
+
+
+def test_journal_roundtrip_info_and_clear(tmp_path):
+    root = str(tmp_path)
+    journal = SweepJournal.for_digests(root, ["a" * 64, "b" * 64])
+    journal.record("a" * 64, 0, "j0", {"rows": [1.5, "x"]})
+    journal.record("b" * 64, 1, "j1", [None, float("nan")])
+    journal.close()
+    loaded = SweepJournal.for_digests(root, ["a" * 64, "b" * 64]).load()
+    assert loaded["a" * 64] == {"rows": [1.5, "x"]}
+    assert loaded["b" * 64][0] is None
+    info = journal_info(root)
+    assert info["journals"] == 1 and info["entries"] == 2
+    assert info["bytes"] > 0
+    assert clear_journals(root) == 1
+    assert journal_info(root)["journals"] == 0
+
+
+def test_journal_load_counts_corrupt_lines(tmp_path):
+    root = str(tmp_path)
+    journal = SweepJournal.for_digests(root, ["a" * 64])
+    journal.record("a" * 64, 0, "j0", 42)
+    journal.close()
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write("not json\n")
+        fh.write('{"journal": 99, "digest": "' + "a" * 64
+                 + '", "result": ""}\n')
+        fh.write('{"journal": 1, "digest": "short", "result": ""}\n')
+    fresh = SweepJournal.for_digests(root, ["a" * 64])
+    assert fresh.load() == {"a" * 64: 42}
+    assert fresh.corrupt_lines == 3
+
+
+def test_journal_resumed_writes_append(tmp_path):
+    root = str(tmp_path)
+    journal = SweepJournal.for_digests(root, ["a" * 64, "b" * 64])
+    journal.record("a" * 64, 0, "j0", 1)
+    journal.close()
+    resumed = SweepJournal.for_digests(root, ["a" * 64, "b" * 64])
+    assert resumed.load() == {"a" * 64: 1}
+    resumed.record("b" * 64, 1, "j1", 2)
+    resumed.close()
+    final = SweepJournal.for_digests(root, ["a" * 64, "b" * 64])
+    assert final.load() == {"a" * 64: 1, "b" * 64: 2}
+
+
+# ----------------------------------------------------------------------
+# Cache corruption accounting (the silent-purge counter)
+# ----------------------------------------------------------------------
+def test_cache_corruption_is_counted_and_logged(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = {"k": 1}
+    d = cache.digest(key)
+    cache.store(d, key, "value")
+    with open(cache._path(d), "wb") as fh:
+        fh.write(b"bit rot")
+    from repro.runner import MISS
+    assert cache.load(d, key) is MISS
+    assert cache.corrupt == 1
+    assert cache.corrupt_purged() == 1
+    assert cache.info()["corrupt_purged"] == 1
+    # A fresh handle on the same root still sees the persisted log.
+    assert ResultCache(str(tmp_path)).info()["corrupt_purged"] == 1
+    cache.clear()
+    assert cache.info()["corrupt_purged"] == 0
