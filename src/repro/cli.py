@@ -48,6 +48,12 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the sweep (0 = one "
                              "per CPU core; default: serial)")
+    parser.add_argument("--kernel", default=None,
+                        choices=["fast", "legacy", "soa"],
+                        help="cycle-engine kernel (default: fast); all "
+                             "kernels are bit-identical — legacy is the "
+                             "frozen reference, soa the structure-of-"
+                             "arrays cycle-skipping engine")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not populate the result "
                              "cache (.repro-cache/)")
@@ -235,12 +241,15 @@ def cmd_info(args) -> int:
 
 
 def _execution_params(args, **overrides):
-    """``paper_parameters`` with the ``--jobs``/``--no-cache`` flags
-    folded in (so validation raises the usual :class:`ConfigError`)."""
+    """``paper_parameters`` with the ``--jobs``/``--no-cache``/
+    ``--kernel`` flags folded in (so validation raises the usual
+    :class:`ConfigError`)."""
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
     if args.no_cache:
         overrides["result_cache"] = False
+    if getattr(args, "kernel", None) is not None:
+        overrides["kernel"] = args.kernel
     return paper_parameters(args.mesh, **overrides)
 
 

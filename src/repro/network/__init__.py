@@ -31,12 +31,17 @@ def make_network(sim, params, routing: str = "ecube") -> MeshNetwork:
 
     ``"fast"`` (the default) is the optimized cycle engine; ``"legacy"``
     is the frozen pre-optimization reference kernel used by the perf
-    harness and the golden determinism tests.  Both produce bit-identical
+    harness and the golden determinism tests; ``"soa"`` is the
+    structure-of-arrays cycle-skipping kernel
+    (:mod:`repro.network.soa`).  All three produce bit-identical
     simulation results.
     """
     if params.kernel == "legacy":
         from repro.network.legacy import LegacyMeshNetwork
         return LegacyMeshNetwork(sim, params, routing)
+    if params.kernel == "soa":
+        from repro.network.soa import SoaMeshNetwork
+        return SoaMeshNetwork(sim, params, routing)
     return MeshNetwork(sim, params, routing)
 
 

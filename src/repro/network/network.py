@@ -52,6 +52,20 @@ ChainHandler = Callable[[int, Worm], None]
 #: zero overhead beyond one comparison per network construction.
 PROFILE_REGISTRY: "list[MeshNetwork] | None" = None
 
+#: Counters in :meth:`MeshNetwork.phase_counters` that describe *how* a
+#: kernel ran rather than *what* it simulated.  Cross-kernel equality
+#: checks (the golden suite, the differential fuzzer, the perf harness)
+#: must exclude exactly this set; everything else is part of the
+#: simulated behaviour and must match bit-for-bit between kernels.
+KERNEL_PRIVATE_COUNTERS = frozenset({
+    "busy_sorts",          # legacy sorts every cycle, fast only on dirty
+    "busy_sort_rate",      # derived from busy_sorts
+    "phase_decide_visits",  # kernels elide no-op phase calls differently
+    "phase_select_visits",
+    "cycles_stepped",      # soa skips cycles legacy/fast step through
+    "cycles_skipped",      # ... but stepped + skipped is kernel-invariant
+})
+
 
 class MeshNetwork:
     """Cycle-level wormhole-routed 2-D mesh."""
@@ -70,25 +84,7 @@ class MeshNetwork:
             routing = routing + FT_SUFFIX
         self.routing = make_routing(routing, self.mesh,
                                     detour_limit=params.detour_limit)
-        router_cls = self.ROUTER_CLS
-        self.routers: list[Router] = []
-        for node in self.mesh.nodes():
-            x, y = self.mesh.coords(node)
-            interface = RouterInterface(params.consumption_channels,
-                                        params.iack_buffers)
-            self.routers.append(router_cls(node, x, y, params.num_vnets,
-                                           params.vc_buffer_depth,
-                                           params.router_delay, interface))
-        # Wire up the per-channel downstream targets.
-        for router in self.routers:
-            for port in MESH_PORTS:
-                neighbor_id = self.mesh.neighbor(router.node, port)
-                if neighbor_id is None:
-                    continue
-                neighbor = self.routers[neighbor_id]
-                for vnet in range(params.num_vnets):
-                    router.set_link(port, vnet, neighbor,
-                                    neighbor.in_vcs[(OPPOSITE[port], vnet)])
+        self._build_state()
         # Handlers (installed by the coherence layer; default: collect).
         self.delivered_log: list[tuple[int, int, Worm, bool]] = []
         self.on_deliver: DeliveryHandler = self._default_deliver
@@ -117,6 +113,10 @@ class MeshNetwork:
         self.latency: dict[WormKind, Tally] = {
             kind: Tally(f"latency.{kind.value}") for kind in WormKind}
         self.cycles_stepped = 0
+        #: Cycles the kernel proved no-op and advanced past without
+        #: stepping (always 0 here and in legacy; the ``soa`` kernel
+        #: skips stalled windows, see :mod:`repro.network.soa`).
+        self.cycles_skipped = 0
         #: Per-phase profiling counters: router visits per phase, moves
         #: executed, and how often the busy order actually had to be
         #: re-sorted (``busy_sorts / cycles_stepped`` is the dirty rate).
@@ -143,6 +143,31 @@ class MeshNetwork:
         self._start_clock()
         if PROFILE_REGISTRY is not None:
             PROFILE_REGISTRY.append(self)
+
+    def _build_state(self) -> None:
+        """Construct the per-node simulation state: one ``ROUTER_CLS``
+        per node, wired channel-by-channel.  The soa kernel overrides
+        this with flat-array state (:mod:`repro.network.soa`)."""
+        params = self.params
+        router_cls = self.ROUTER_CLS
+        self.routers: list[Router] = []
+        for node in self.mesh.nodes():
+            x, y = self.mesh.coords(node)
+            interface = RouterInterface(params.consumption_channels,
+                                        params.iack_buffers)
+            self.routers.append(router_cls(node, x, y, params.num_vnets,
+                                           params.vc_buffer_depth,
+                                           params.router_delay, interface))
+        # Wire up the per-channel downstream targets.
+        for router in self.routers:
+            for port in MESH_PORTS:
+                neighbor_id = self.mesh.neighbor(router.node, port)
+                if neighbor_id is None:
+                    continue
+                neighbor = self.routers[neighbor_id]
+                for vnet in range(params.num_vnets):
+                    router.set_link(port, vnet, neighbor,
+                                    neighbor.in_vcs[(OPPOSITE[port], vnet)])
 
     # ------------------------------------------------------------------
     # Public API
@@ -239,10 +264,28 @@ class MeshNetwork:
 
     def phase_counters(self) -> dict:
         """Per-phase profiling counters (the ``--profile`` CLI flag and
-        the perf harness report these)."""
+        the perf harness report these).
+
+        Two classes of counters come back.  *Shared* counters describe
+        the simulated machine and are bit-identical across the
+        ``legacy``/``fast``/``soa`` kernels: ``moves_applied``,
+        ``total_flit_hops``, ``injected``, ``delivered``,
+        ``worms_dropped``, ``detours``, and ``swallowed``.  *Kernel-
+        private* counters (module constant
+        :data:`KERNEL_PRIVATE_COUNTERS`) describe how the kernel
+        executed and legitimately differ: ``busy_sorts`` /
+        ``busy_sort_rate`` (legacy re-sorts every cycle, fast only when
+        the busy set changed), ``phase_decide_visits`` /
+        ``phase_select_visits`` (kernels elide no-op phase calls
+        differently), and ``cycles_stepped`` / ``cycles_skipped`` (the
+        soa kernel skips provably-stalled windows; the *sum* of the two
+        is kernel-invariant).  Cross-kernel comparisons must filter the
+        private set instead of hand-picking keys.
+        """
         cycles = self.cycles_stepped
         return {
             "cycles_stepped": cycles,
+            "cycles_skipped": self.cycles_skipped,
             "phase_decide_visits": self.phase_decide_visits,
             "phase_select_visits": self.phase_select_visits,
             "moves_applied": self.moves_applied,

@@ -1,0 +1,727 @@
+"""Structure-of-arrays cycle-skipping kernel (``kernel="soa"``).
+
+The third cycle engine behind :func:`repro.network.make_network`.  It
+simulates exactly the same machine as the ``fast`` and ``legacy``
+kernels — the golden suite and the differential fuzzer prove the
+:class:`~repro.core.metrics.TransactionRecord` streams, flit-hop
+totals, and even the simulator's dispatched-callback counts are
+bit-identical — but organizes the work differently:
+
+* **Flat-array state.**  Per-(node, port, vnet) control state lives in
+  parallel flat lists indexed by an integer *vid* (``(node * 5 + port)
+  * V + vnet``) instead of ``Router``/``InputVC`` objects: buffer
+  occupancy, VC state, routing countdowns, output ownership, and
+  credits are plain ``list[int]`` lookups.  The downstream-credit check
+  is one subscript (``occ[dvid] >= depth``); there are no per-router
+  method calls on the hot path.  Only the :class:`RouterInterface`
+  (consumption channels, i-ack buffer file) remains an object — it is
+  per-node, stateful, and cold.
+
+* **Batched phases over an explicit worklist.**  ``step`` evaluates the
+  decide and select phases as two flat loops over the sorted busy-node
+  worklist, with per-node insertion-ordered active-vid maps preserving
+  the exact arbitration order of the object kernels.
+
+* **Cycle skipping.**  The inline tick loop advances ``sim.now``
+  directly (compensating ``sim.dispatched``) instead of scheduling one
+  calendar callback per cycle, and when the network is provably at a
+  stalled fixed point — two consecutive cycles with zero moves, no
+  routing countdowns, and no fault plan armed — it jumps the clock
+  straight to the next scheduled event (injection wake-up, protocol
+  timer, drain completion), bounded by the deadlock threshold.  Skipped
+  cycles are counted in ``cycles_skipped``; ``cycles_stepped +
+  cycles_skipped`` equals the other kernels' ``cycles_stepped``.  The
+  per-stall-cycle ``cc_blocked`` / ``reserve_blocked`` deltas measured
+  on the fixed point's second cycle are replayed for every skipped
+  cycle, so interface statistics stay bit-identical too.
+
+External surface: ``net.routers`` is a list of :class:`_NodeView`
+facades exposing ``.node`` and ``.interface`` — everything the audit,
+coherence, and trace layers touch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.network.interface import RouterInterface
+from repro.network.network import MeshNetwork
+from repro.network.router import (MOVE_CONSUME, MOVE_FWD, MOVE_INJECT,
+                                  MOVE_PARK)
+from repro.network.topology import MESH_PORTS, OPPOSITE, Port
+from repro.network.worm import Worm, WormKind
+
+#: Integer VC control states (the array form of ``VCState``).
+IDLE, ROUTING, DECIDE, FORWARD, CONSUME, PARK = range(6)
+
+_IN_PORTS = 5   # N, S, E, W, LOCAL
+_OUT_PORTS = 4  # N, S, E, W
+
+
+class _NodeView:
+    """Per-node facade for the external surface (audit, coherence,
+    trace): ``.node``, ``.interface``, and injection.  All simulation
+    state lives in the network's flat arrays."""
+
+    __slots__ = ("node", "interface", "_net")
+
+    def __init__(self, node: int, interface: RouterInterface,
+                 net: "SoaMeshNetwork") -> None:
+        self.node = node
+        self.interface = interface
+        self._net = net
+
+    def enqueue_inject(self, worm: Worm, front: bool = False) -> None:
+        self._net._enqueue_inject(self.node, worm, front)
+
+
+class SoaMeshNetwork(MeshNetwork):
+    """Flat-array mesh kernel with batched phases and cycle skipping."""
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_state(self) -> None:
+        params = self.params
+        mesh = self.mesh
+        num_nodes = mesh.num_nodes
+        V = self._V = params.num_vnets
+        self._depth = params.vc_buffer_depth
+        self._router_delay = params.router_delay
+        nv = num_nodes * _IN_PORTS * V
+        no = num_nodes * _OUT_PORTS * V
+        # Per-vid (input virtual channel) state, parallel flat arrays.
+        self._occ = [0] * nv          # buffer occupancy == credit state
+        self._vstate = [IDLE] * nv
+        self._countdown = [0] * nv
+        self._outport = [-1] * nv
+        self._absorb = [False] * nv
+        self._worm: list = [None] * nv
+        self._ctx: list = [{} for _ in range(nv)]
+        self._buf = [deque() for _ in range(nv)]
+        self._in_act = [False] * nv
+        # Per-oid (output virtual channel) ownership: owning vid or -1.
+        self._owner = [-1] * no
+        # Per-node aggregates and worklists.
+        self._rr = [0] * (num_nodes * _OUT_PORTS)
+        self._owned = [0] * num_nodes
+        self._owned_ports = [0] * (num_nodes * _OUT_PORTS)
+        self._sinks = [0] * num_nodes
+        self._inject_work = [0] * num_nodes
+        self._active: list[dict[int, None]] = [{} for _ in range(num_nodes)]
+        self._inj_q = [deque() for _ in range(num_nodes * V)]
+        self._inj_active: list = [None] * (num_nodes * V)
+        # Static maps: vid -> Port / node, oid -> downstream vid,
+        # (node, port) -> interned link-statistics key.
+        self._v_port = [Port(p) for _ in range(num_nodes)
+                        for p in range(_IN_PORTS) for _ in range(V)]
+        self._v_node = [vid // (_IN_PORTS * V) for vid in range(nv)]
+        self._down_vid = [-1] * no
+        self._link_keys: list = [None] * (num_nodes * _OUT_PORTS)
+        for node in mesh.nodes():
+            for port in MESH_PORTS:
+                self._link_keys[node * _OUT_PORTS + port] = (node, port)
+                neighbor = mesh.neighbor(node, port)
+                if neighbor is None:
+                    continue
+                opp = OPPOSITE[port]
+                for vnet in range(V):
+                    self._down_vid[(node * _OUT_PORTS + port) * V + vnet] = \
+                        (neighbor * _IN_PORTS + opp) * V + vnet
+        self.interfaces = [RouterInterface(params.consumption_channels,
+                                           params.iack_buffers)
+                           for _ in range(num_nodes)]
+        self.routers = [_NodeView(n, self.interfaces[n], self)
+                        for n in range(num_nodes)]
+        # Cycle-skip machinery: consecutive provably-quiet steps (2 =
+        # verified fixed point) and the per-stall-cycle counter deltas
+        # measured on the fixed point's second cycle.
+        self._quiet_steps = 0
+        self._stall_delta: list = []
+        #: Set to a list to record ``(from_cycle, skipped, next_event)``
+        #: per skip — used by the golden quiescence property test.
+        self._skip_trace: list | None = None
+
+    # ------------------------------------------------------------------
+    # External mutation points invalidate the fixed-point proof
+    # ------------------------------------------------------------------
+    def _enqueue_inject(self, node: int, worm: Worm,
+                        front: bool = False) -> None:
+        self._quiet_steps = 0
+        qi = node * self._V + worm.vnet
+        queue = self._inj_q[qi]
+        if not queue and self._inj_active[qi] is None:
+            self._inject_work[node] += 1
+        if front:
+            queue.appendleft(worm)
+        else:
+            queue.append(worm)
+
+    def deposit_ack(self, node: int, key: Hashable, count: int = 1) -> None:
+        self._quiet_steps = 0
+        super().deposit_ack(node, key, count)
+
+    def signal_chain_done(self, node: int, txn: Hashable) -> None:
+        self._quiet_steps = 0
+        super().signal_chain_done(node, txn)
+
+    def purge_txn(self, txn: Hashable) -> int:
+        self._quiet_steps = 0
+        return super().purge_txn(txn)
+
+    def install_faults(self, plan):
+        self._quiet_steps = 0
+        return super().install_faults(plan)
+
+    # ------------------------------------------------------------------
+    # Clock: inline cycle loop with event-driven skipping
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if not self.busy:
+            event = self._idle_event = self.sim.event("network.idle")
+            event.add_callback(self._wake_tick)
+            return
+        sim = self.sim
+        busy = self.busy
+        step = self.step
+        step()
+        while busy:
+            nxt = sim.now + 1
+            p = sim.peek()
+            if p is not None and p <= nxt:
+                # Calendar work due this or next cycle: hand control
+                # back so callbacks interleave exactly as they would
+                # with one scheduled tick per cycle.
+                break
+            if self._quiet_steps >= 2 and self.faults is None:
+                # Verified stalled fixed point: nothing can change until
+                # the next calendar event (externally) or the deadlock
+                # threshold (internally).  Jump.
+                n = self.deadlock_threshold - self._stalled_cycles - 1
+                if p is not None:
+                    horizon = p - nxt
+                    if horizon < n:
+                        n = horizon
+                if n > 0:
+                    if self._skip_trace is not None:
+                        self._skip_trace.append((sim.now, n, p))
+                    sim.now += n
+                    sim.dispatched += n   # the ticks a stepping kernel runs
+                    self.cycles_skipped += n
+                    self._stalled_cycles += n
+                    for iface, cc_d, res_d in self._stall_delta:
+                        if cc_d:
+                            iface.cc_blocked += cc_d * n
+                        if res_d:
+                            iface.iack.reserve_blocked += res_d * n
+                    continue
+                # n <= 0: the next cycle must be stepped for real (it is
+                # the one that crosses the deadlock threshold).
+            sim.now = nxt
+            sim.dispatched += 1   # the tick dispatch this inlining elides
+            step()
+        sim.call_after(1, self._tick)
+
+    # ------------------------------------------------------------------
+    # One network cycle over the flat arrays
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        self.cycles_stepped += 1
+        busy = self.busy
+        if self._busy_dirty:
+            order = self._busy_order = sorted(busy)
+            self._busy_dirty = False
+            self.busy_sorts += 1
+        else:
+            order = self._busy_order
+        armed = self._quiet_steps == 1
+        if armed:
+            interfaces = self.interfaces
+            snap = [(interfaces[n], interfaces[n].cc_blocked,
+                     interfaces[n].iack.reserve_blocked) for n in order]
+        active = self._active
+        vstate = self._vstate
+        occ = self._occ
+        buf = self._buf
+        V = self._V
+
+        # Phase 1: routing countdowns and DECIDE resolution, in
+        # activation order per node.
+        countdown = self._countdown
+        worms = self._worm
+        in_act = self._in_act
+        resolve = self._resolve
+        delay1 = self._router_delay - 1
+        if delay1 < 0:
+            delay1 = 0
+        for node in order:
+            act = active[node]
+            if not act:
+                continue
+            retire = None
+            for vid in act:
+                s = vstate[vid]
+                if s == IDLE:
+                    if not occ[vid]:
+                        # Lazy cleanup: went idle last apply phase.
+                        if retire is None:
+                            retire = [vid]
+                        else:
+                            retire.append(vid)
+                        continue
+                    worm, idx = buf[vid][0]
+                    assert idx == 0, "non-header flit at head of idle VC"
+                    worms[vid] = worm
+                    if delay1:
+                        vstate[vid] = ROUTING
+                        countdown[vid] = delay1
+                    else:
+                        vstate[vid] = DECIDE
+                        resolve(vid, node)
+                elif s == ROUTING:
+                    cd = countdown[vid] - 1
+                    countdown[vid] = cd
+                    if cd <= 0:
+                        vstate[vid] = DECIDE
+                        resolve(vid, node)
+                elif s == DECIDE:
+                    resolve(vid, node)
+            if retire is not None:
+                for vid in retire:
+                    in_act[vid] = False
+                    del act[vid]
+
+        # Phase 2: one flit per output link (round-robin over vnets),
+        # one per sink, one injected flit per vnet.
+        moves = self.pending_moves
+        owner = self._owner
+        owned = self._owned
+        owned_ports = self._owned_ports
+        rr = self._rr
+        down_vid = self._down_vid
+        depth = self._depth
+        sinks = self._sinks
+        inject_work = self._inject_work
+        inj_active = self._inj_active
+        inj_q = self._inj_q
+        for node in order:
+            if owned[node]:
+                pbase = node * _OUT_PORTS
+                for port in range(_OUT_PORTS):
+                    pi = pbase + port
+                    if not owned_ports[pi]:
+                        continue
+                    obase = pi * V
+                    start = rr[pi]
+                    for offset in range(V):
+                        vnet = start + offset
+                        if vnet >= V:
+                            vnet -= V
+                        vid = owner[obase + vnet]
+                        if vid < 0 or vstate[vid] != FORWARD \
+                                or not occ[vid]:
+                            continue
+                        dvid = down_vid[obase + vnet]
+                        if occ[dvid] >= depth:
+                            continue  # no credit downstream
+                        moves.append((MOVE_FWD, vid, node, pi,
+                                      obase + vnet, dvid))
+                        vnet += 1
+                        rr[pi] = vnet if vnet < V else 0
+                        break
+            if sinks[node]:
+                for vid in active[node]:
+                    s = vstate[vid]
+                    if s == CONSUME:
+                        if occ[vid]:
+                            moves.append((MOVE_CONSUME, vid, node))
+                    elif s == PARK and occ[vid]:
+                        moves.append((MOVE_PARK, vid, node))
+            if inject_work[node]:
+                qbase = node * V
+                lbase = (node * _IN_PORTS + 4) * V  # LOCAL-port vids
+                for vnet in range(V):
+                    qi = qbase + vnet
+                    if inj_active[qi] is None and not inj_q[qi]:
+                        continue
+                    if occ[lbase + vnet] >= depth:
+                        continue
+                    moves.append((MOVE_INJECT, node, vnet))
+
+        # Phase 3: apply, in selection order.
+        nmoves = len(moves)
+        if nmoves:
+            total_hops = 0
+            link_use = self.link_use
+            link_keys = self._link_keys
+            v_node = self._v_node
+            outport = self._outport
+            absorb = self._absorb
+            ctx = self._ctx
+            interfaces = self.interfaces
+            deliver = self._deliver
+            chain = WormKind.CHAIN
+            for move in moves:
+                tag = move[0]
+                if tag == MOVE_FWD:
+                    _, vid, node, pi, oid, dvid = move
+                    flit = buf[vid].popleft()
+                    occ[vid] -= 1
+                    buf[dvid].append(flit)
+                    occ[dvid] += 1
+                    dnode = v_node[dvid]
+                    if not in_act[dvid]:
+                        in_act[dvid] = True
+                        active[dnode][dvid] = None
+                    if dnode not in busy:
+                        busy.add(dnode)
+                        self._busy_dirty = True
+                    worm, idx = flit
+                    worm.flit_hops += 1
+                    total_hops += 1
+                    link_use[link_keys[pi]] += 1
+                    if idx == worm.size_flits - 1:  # tail left this node
+                        if absorb[vid]:
+                            interfaces[node].release_cc()
+                            if worm.kind is not chain:
+                                deliver(node, worm, False)
+                        owner[oid] = -1
+                        owned[node] -= 1
+                        owned_ports[pi] -= 1
+                        vstate[vid] = IDLE
+                        countdown[vid] = 0
+                        worms[vid] = None
+                        outport[vid] = -1
+                        absorb[vid] = False
+                        ctx[vid] = {}
+                elif tag == MOVE_CONSUME:
+                    _, vid, node = move
+                    worm, idx = buf[vid].popleft()
+                    occ[vid] -= 1
+                    if idx == worm.size_flits - 1:
+                        interfaces[node].release_cc()
+                        sinks[node] -= 1
+                        vstate[vid] = IDLE
+                        countdown[vid] = 0
+                        worms[vid] = None
+                        outport[vid] = -1
+                        absorb[vid] = False
+                        ctx[vid] = {}
+                        deliver(node, worm, True)
+                elif tag == MOVE_PARK:
+                    _, vid, node = move
+                    worm, idx = buf[vid].popleft()
+                    occ[vid] -= 1
+                    if idx == worm.size_flits - 1:
+                        sinks[node] -= 1
+                        vstate[vid] = IDLE
+                        countdown[vid] = 0
+                        worms[vid] = None
+                        outport[vid] = -1
+                        absorb[vid] = False
+                        ctx[vid] = {}
+                        key = (worm.txn, worm.pickup_level)
+                        released = interfaces[node].iack \
+                            .finish_park_drain(key)
+                        if released is not None:
+                            self._reinject(node, released)
+                else:  # MOVE_INJECT
+                    _, node, vnet = move
+                    qi = node * V + vnet
+                    entry = inj_active[qi]
+                    if entry is None:
+                        worm = inj_q[qi].popleft()
+                        idx = 0
+                    else:
+                        worm, idx = entry
+                    lvid = (node * _IN_PORTS + 4) * V + vnet
+                    buf[lvid].append((worm, idx))
+                    occ[lvid] += 1
+                    if not in_act[lvid]:
+                        in_act[lvid] = True
+                        active[node][lvid] = None
+                    idx += 1
+                    if idx < worm.size_flits:
+                        inj_active[qi] = (worm, idx)
+                    else:
+                        inj_active[qi] = None
+                        if not inj_q[qi]:
+                            inject_work[node] -= 1
+            moves.clear()
+            self.moves_applied += nmoves
+            self.total_flit_hops += total_hops
+
+        # Quiescence sweep and stall/fixed-point bookkeeping.
+        for node in order:
+            if not active[node] and not inject_work[node]:
+                busy.discard(node)
+                self._busy_dirty = True
+        nrouters = len(order)
+        self.phase_decide_visits += nrouters
+        self.phase_select_visits += nrouters
+        if nmoves:
+            self._stalled_cycles = 0
+            self._quiet_steps = 0
+            return
+        routing_seen = False
+        for node in order:
+            for vid in active[node]:
+                if vstate[vid] == ROUTING:
+                    routing_seen = True
+                    break
+            if routing_seen:
+                break
+        if busy and not routing_seen:
+            self._stalled_cycles += 1
+            if self._stalled_cycles >= self.deadlock_threshold:
+                self._report_deadlock()
+            if armed:
+                # Second consecutive quiet cycle: the state is now a
+                # fixed point and this cycle's counter deltas repeat
+                # verbatim every further stalled cycle.
+                delta = []
+                for iface, cc0, res0 in snap:
+                    cc_d = iface.cc_blocked - cc0
+                    res_d = iface.iack.reserve_blocked - res0
+                    if cc_d or res_d:
+                        delta.append((iface, cc_d, res_d))
+                self._stall_delta = delta
+                self._quiet_steps = 2
+            elif self._quiet_steps == 0:
+                self._quiet_steps = 1
+            # _quiet_steps == 2 persists across no-op calendar events.
+        else:
+            self._quiet_steps = 0
+
+    # ------------------------------------------------------------------
+    # DECIDE resolution (array port of Router._resolve and friends)
+    # ------------------------------------------------------------------
+    def _resolve(self, vid: int, node: int) -> None:
+        worm = self._worm[vid]
+        assert worm is not None
+        if worm.next_dest != node:
+            self._alloc_output(vid, node, worm.next_dest, False)
+            return
+        kind = worm.kind
+        final = worm.at_last_leg
+        if kind is WormKind.IGATHER:
+            if final:
+                self._to_consume(vid, node)
+            else:
+                self._resolve_gather(vid, node, worm)
+            return
+        if kind is WormKind.CHAIN and not final:
+            self._resolve_chain(vid, node, worm)
+            return
+        # UNICAST / MULTICAST / IRESERVE (+ CHAIN at its final stop).
+        ctx = self._ctx[vid]
+        if kind is WormKind.IRESERVE and not ctx.get("reserved"):
+            if not self._do_reservations(worm, node):
+                return  # buffer full; retry next cycle
+            ctx["reserved"] = True
+        if final:
+            self._to_consume(vid, node)
+            return
+        # Intermediate destination of MULTICAST / IRESERVE.
+        delivers = worm.delivers_at(node)
+        if delivers and not ctx.get("cc"):
+            if not self.interfaces[node].try_acquire_cc():
+                return  # no consumption channel; retry next cycle
+            ctx["cc"] = True
+        next_dest = worm.dests[worm.ptr + 1]
+        if self._alloc_output(vid, node, next_dest, delivers):
+            worm.advance()
+
+    def _resolve_gather(self, vid: int, node: int, worm: Worm) -> None:
+        key = (worm.txn, worm.pickup_level)
+        ctx = self._ctx[vid]
+        iack = self.interfaces[node].iack
+        if not ctx.get("picked"):
+            count = iack.try_pickup(key)
+            if count is None:
+                if self.params.deferred_delivery:
+                    if iack.try_park(key, worm):
+                        worm.advance()
+                        self._vstate[vid] = PARK
+                        self._sinks[node] += 1
+                    # else: file full, stall in place and retry.
+                return
+            worm.acks_carried += count
+            ctx["picked"] = True
+        next_dest = worm.dests[worm.ptr + 1]
+        if self._alloc_output(vid, node, next_dest, False):
+            worm.advance()
+
+    def _resolve_chain(self, vid: int, node: int, worm: Worm) -> None:
+        ctx = self._ctx[vid]
+        iface = self.interfaces[node]
+        if not ctx.get("cc"):
+            if not iface.try_acquire_cc():
+                return
+            ctx["cc"] = True
+        if not ctx.get("delivered"):
+            ctx["delivered"] = True
+            self.deliver_chain(node, worm)
+        if (worm.txn, node) not in iface.chain_done:
+            return  # local invalidation still in progress
+        iface.chain_done.discard((worm.txn, node))
+        next_dest = worm.dests[worm.ptr + 1]
+        if self._alloc_output(vid, node, next_dest, True):
+            worm.advance()
+
+    def _do_reservations(self, worm: Worm, node: int) -> bool:
+        iack = self.interfaces[node].iack
+        if worm.delivers_at(node) and node not in worm.no_reserve:
+            if not iack.try_reserve((worm.txn, 0)):
+                return False
+        if node in worm.reserve_only or node in worm.extra_reserve:
+            if not iack.try_reserve((worm.txn, 1)):
+                return False
+        return True
+
+    def _to_consume(self, vid: int, node: int) -> None:
+        ctx = self._ctx[vid]
+        if not ctx.get("cc"):
+            if not self.interfaces[node].try_acquire_cc():
+                return
+            ctx["cc"] = True
+        self._vstate[vid] = CONSUME
+        self._sinks[node] += 1
+
+    def _alloc_output(self, vid: int, node: int, dest: int,
+                      absorb: bool) -> bool:
+        worm = self._worm[vid]
+        ports, detour = self.routing.hop_candidates(
+            node, dest, self._v_port[vid], worm.misroutes, self.sim.now)
+        assert ports, "output allocation for a worm already at its target"
+        V = self._V
+        vnet = vid % V
+        owner = self._owner
+        for port in ports:
+            oid = (node * _OUT_PORTS + port) * V + vnet
+            if owner[oid] < 0:
+                owner[oid] = vid
+                self._owned[node] += 1
+                self._owned_ports[node * _OUT_PORTS + port] += 1
+                self._outport[vid] = port
+                self._absorb[vid] = absorb
+                self._vstate[vid] = FORWARD
+                if detour:
+                    worm.misroutes += 1
+                    self.detours += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Deadlock diagnosis over the arrays (cold path)
+    # ------------------------------------------------------------------
+    def _diagnose_wait(self, node: int, vid: int):
+        V = self._V
+        worm = self._worm[vid]
+        state = self._vstate[vid]
+        iface = self.interfaces[node]
+        vnet = vid % V
+        if state == FORWARD:
+            port = self._outport[vid]
+            if not self._occ[vid] or port < 0:
+                return None
+            oid = (node * _OUT_PORTS + port) * V + vnet
+            dvid = self._down_vid[oid]
+            if self._occ[dvid] < self._depth:
+                return None
+            return (f"buffer credit on the {Port(port).name} link into "
+                    f"node {self._v_node[dvid]}",
+                    [dvid] if self._worm[dvid] is not None else [])
+        if state != DECIDE:
+            return None
+        ctx = self._ctx[vid]
+        if worm.next_dest == node:
+            kind = worm.kind
+            final = worm.at_last_leg
+            entries = iface.iack._entries
+            if (kind is WormKind.IGATHER and not final
+                    and not ctx.get("picked")):
+                key = self.gather_key(worm, node)
+                if iface.iack.entry(key) is None \
+                        and not iface.iack.free_slots:
+                    return (f"a free i-ack buffer slot at node {node} "
+                            f"(all {iface.iack.capacity} held: "
+                            f"{sorted(map(repr, entries))})", [])
+                return (f"the i-ack signal {key!r} at node {node} "
+                        f"(reserved but not yet deposited)", [])
+            if kind is WormKind.IRESERVE and not ctx.get("reserved"):
+                return (f"a free i-ack buffer slot at node {node} "
+                        f"(all {iface.iack.capacity} held: "
+                        f"{sorted(map(repr, entries))})", [])
+            if kind is WormKind.CHAIN and not final:
+                if not ctx.get("cc") and not iface.free_cc:
+                    return self._cc_wait_vid(node, vid)
+                if ctx.get("delivered"):
+                    return (f"the local invalidation of txn "
+                            f"{worm.txn!r} at node {node}", [])
+            needs_cc = final or worm.delivers_at(node)
+            if needs_cc and not ctx.get("cc") and not iface.free_cc:
+                return self._cc_wait_vid(node, vid)
+            if final:
+                return None  # draining starts next cycle
+            target = worm.dests[worm.ptr + 1]
+        else:
+            target = worm.next_dest
+        ports = self.routing.candidates(node, target)
+        holders = [self._owner[(node * _OUT_PORTS + p) * V + vnet]
+                   for p in ports]
+        names = "/".join(p.name for p in ports)
+        return (f"an output channel {names} (vnet {vnet}) at node "
+                f"{node} toward node {target}",
+                [h for h in holders if h >= 0])
+
+    def _cc_wait_vid(self, node: int, vid: int):
+        V = self._V
+        base = node * _IN_PORTS * V
+        holders = [v for v in range(base, base + _IN_PORTS * V)
+                   if v != vid and self._worm[v] is not None
+                   and (self._ctx[v].get("cc")
+                        or self._vstate[v] in (CONSUME, FORWARD))]
+        return (f"a consumption channel at node {node} "
+                f"(all {self.interfaces[node].total_cc} busy)", holders)
+
+    def _report_deadlock(self) -> None:
+        from repro.sim.engine import SimulationError
+        V = self._V
+        worms = self._worm
+        waits = {}
+        node_of = {}
+        for nid in sorted(self.busy):
+            base = nid * _IN_PORTS * V
+            for vid in range(base, base + _IN_PORTS * V):
+                if worms[vid] is None:
+                    continue
+                diag = self._diagnose_wait(nid, vid)
+                if diag is not None:
+                    waits[vid] = diag
+                    node_of[vid] = nid
+
+        def step(vid):
+            worm = worms[vid]
+            desc, _holders = waits[vid]
+            return (f"worm #{worm.uid} ({worm.kind.value}, "
+                    f"txn={worm.txn!r}) at node "
+                    f"{node_of[vid]} waits for {desc}")
+
+        cycle = self._find_wait_cycle(waits)
+        if cycle:
+            detail = (f"hold-and-wait cycle of {len(cycle)} worm(s):\n  "
+                      + "\n  ".join(step(vid) for vid in cycle)
+                      + "\n  … and back to the first")
+        else:
+            shown = [step(vid) for vid in list(waits)[:8]]
+            detail = ("blocked worms (no closed cycle among the waiters "
+                      "— a resource is held by a non-waiting party):\n  "
+                      + "\n  ".join(shown))
+        raise SimulationError(
+            f"network deadlock: no flit moved for "
+            f"{self.deadlock_threshold} cycles at cycle {self.sim.now}; "
+            f"{detail}\n"
+            f"(hold-and-wait on consumption channels / i-ack buffers — "
+            f"increase iack_buffers or consumption_channels)")

@@ -1,8 +1,10 @@
-"""Golden-output proof that the optimized kernel is bit-identical.
+"""Golden-output proof that the optimized kernels are bit-identical.
 
 The fast kernel (cached busy order, list layouts, memoized routing,
-interned move tuples, callback clock) must produce *exactly* the same
-simulation as the frozen pre-optimization reference in
+interned move tuples, callback clock) and the soa kernel (flat
+structure-of-arrays state, batched phases, cycle skipping —
+:mod:`repro.network.soa`) must produce *exactly* the same simulation
+as the frozen pre-optimization reference in
 :mod:`repro.network.legacy` — the full :class:`TransactionRecord`
 stream, the flit-hop totals, and even the simulator's dispatched-
 callback count.  Any divergence here means an optimization changed
@@ -19,8 +21,12 @@ from repro.config import SystemParameters, paper_parameters
 from repro.core import InvalidationEngine, build_plan
 from repro.network import MeshNetwork, make_network
 from repro.network.legacy import LegacyMeshNetwork, LegacyRouter
+from repro.network.network import KERNEL_PRIVATE_COUNTERS
+from repro.network.soa import SoaMeshNetwork
 from repro.sim import Simulator
 from repro.workloads.patterns import make_pattern
+
+KERNELS = ("legacy", "fast", "soa")
 
 
 def run_record_stream(kernel, schemes=("mi-ma-ec", "ui-ua", "mi-ua-tm"),
@@ -46,25 +52,27 @@ def digest(records):
     return hashlib.sha256(repr(records).encode()).hexdigest()
 
 
-def test_record_streams_bit_identical_across_kernels():
-    fast_records, fast_hops, fast_dispatched = run_record_stream("fast")
+@pytest.mark.parametrize("kernel", ["fast", "soa"])
+def test_record_streams_bit_identical_across_kernels(kernel):
+    records, hops, dispatched = run_record_stream(kernel)
     legacy_records, legacy_hops, legacy_dispatched = \
         run_record_stream("legacy")
     # Field-for-field equality of every TransactionRecord, in order.
-    assert fast_records == legacy_records
-    assert digest(fast_records) == digest(legacy_records)
-    assert fast_hops == legacy_hops
+    assert records == legacy_records
+    assert digest(records) == digest(legacy_records)
+    assert hops == legacy_hops
     # Even the event-calendar activity matches callback for callback.
-    assert fast_dispatched == legacy_dispatched
-    assert fast_records, "workload produced no transactions"
+    assert dispatched == legacy_dispatched
+    assert records, "workload produced no transactions"
 
 
-def test_kernels_identical_under_adaptive_routing():
-    fast = run_record_stream("fast", schemes=("mi-ma-ec-u",),
-                             degrees=(4, 12), seed=9)
+@pytest.mark.parametrize("kernel", ["fast", "soa"])
+def test_kernels_identical_under_adaptive_routing(kernel):
+    run = run_record_stream(kernel, schemes=("mi-ma-ec-u",),
+                            degrees=(4, 12), seed=9)
     legacy = run_record_stream("legacy", schemes=("mi-ma-ec-u",),
                                degrees=(4, 12), seed=9)
-    assert fast == legacy
+    assert run == legacy
 
 
 def test_make_network_selects_kernel():
@@ -75,9 +83,13 @@ def test_make_network_selects_kernel():
                           SystemParameters(kernel="legacy"), "ecube")
     assert type(legacy) is LegacyMeshNetwork
     assert all(type(r) is LegacyRouter for r in legacy.routers)
+    soa = make_network(Simulator(),
+                       SystemParameters(kernel="soa"), "ecube")
+    assert type(soa) is SoaMeshNetwork
     # The reference kernel computes routing candidates per lookup.
     assert legacy.routing._memo_enabled is False
     assert fast.routing._memo_enabled is True
+    assert soa.routing._memo_enabled is True
 
 
 def test_kernel_knob_is_validated():
@@ -86,10 +98,11 @@ def test_kernel_knob_is_validated():
 
 
 def test_phase_counters_shapes_match():
-    """Both kernels expose the same profiling counters; the fast kernel
-    re-sorts the busy order strictly less often."""
+    """All kernels expose the same profiling counters, and every
+    counter outside the documented kernel-private allowlist is
+    bit-identical across kernels."""
     results = {}
-    for kernel in ("fast", "legacy"):
+    for kernel in KERNELS:
         params = paper_parameters(8, kernel=kernel)
         sim = Simulator()
         net = make_network(sim, params, "ecube")
@@ -97,14 +110,27 @@ def test_phase_counters_shapes_match():
         plan = build_plan("mi-ma-ec", net.mesh, 0, [9, 18, 27, 36])
         engine.run(plan, limit=5_000_000)
         results[kernel] = net.phase_counters()
-    fast, legacy = results["fast"], results["legacy"]
-    assert set(fast) == set(legacy)
+    fast, legacy, soa = (results[k] for k in ("fast", "legacy", "soa"))
+    assert set(fast) == set(legacy) == set(soa)
+    # Everything outside the allowlist is simulated behaviour and must
+    # match exactly — this is the cross-kernel equality contract.
+    for kernel, counters in results.items():
+        for key in counters:
+            if key in KERNEL_PRIVATE_COUNTERS:
+                continue
+            assert counters[key] == fast[key], (kernel, key)
     assert fast["cycles_stepped"] == legacy["cycles_stepped"]
     assert fast["moves_applied"] == legacy["moves_applied"]
     assert fast["total_flit_hops"] == legacy["total_flit_hops"]
-    # Legacy sorts every cycle; the dirty flag sorts only on changes.
+    # The kernel-private counters document *how* each kernel ran:
+    # legacy sorts every cycle; the dirty flag sorts only on changes.
     assert legacy["busy_sorts"] == legacy["cycles_stepped"]
     assert fast["busy_sorts"] < legacy["busy_sorts"]
+    # The soa quiescence invariant: skipped windows account exactly
+    # for the cycles the stepping kernels ground through.
+    assert (soa["cycles_stepped"] + soa["cycles_skipped"]
+            == fast["cycles_stepped"])
+    assert fast["cycles_skipped"] == legacy["cycles_skipped"] == 0
 
 
 def run_audited_record_stream(kernel, level):
@@ -129,7 +155,7 @@ def run_audited_record_stream(kernel, level):
     return records, net.total_flit_hops, sim.dispatched
 
 
-@pytest.mark.parametrize("kernel", ["fast", "legacy"])
+@pytest.mark.parametrize("kernel", ["fast", "legacy", "soa"])
 def test_audit_levels_golden_identical(kernel):
     """Auditing must not perturb the golden record stream on either
     kernel: same records, flit hops, and dispatched-callback count at
@@ -138,3 +164,67 @@ def test_audit_levels_golden_identical(kernel):
     assert run_audited_record_stream(kernel, "off") == golden
     assert run_audited_record_stream(kernel, "cheap") == golden
     assert run_audited_record_stream(kernel, "full") == golden
+
+
+def run_stall_workload(kernel, rounds=3, delay=2_000, trace=False):
+    """Raw-network stall workload: a gather worm waits out a slow i-ack
+    deposit each round, leaving the network at a stalled fixed point for
+    thousands of cycles — the case the soa kernel's cycle skip targets."""
+    from repro.network import Worm, WormKind
+
+    params = paper_parameters(8, deferred_delivery=False, kernel=kernel)
+    sim = Simulator()
+    net = make_network(sim, params, "ecube")
+    net.deadlock_threshold = 10 * delay
+    if trace:
+        net._skip_trace = []
+    mesh = net.mesh
+    home = mesh.node_at(2, 0)
+    s1, s2 = mesh.node_at(2, 3), mesh.node_at(2, 6)
+    results = []
+
+    def deliver(node, worm, final):
+        if worm.kind is WormKind.IRESERVE and node == s2:
+            net.inject(Worm(kind=WormKind.IGATHER, src=s2,
+                            dests=(s1, home), size_flits=4, vnet=1,
+                            txn=worm.txn, acks_carried=1))
+            sim.call_after(delay, lambda t=worm.txn:
+                           net.deposit_ack(s1, (t, 0)))
+        elif worm.kind is WormKind.IGATHER and final:
+            results.append((worm.txn, sim.now, worm.acks_carried))
+
+    net.on_deliver = deliver
+    for r in range(rounds):
+        net.inject(Worm(kind=WormKind.IRESERVE, src=home,
+                        dests=(s1, s2), size_flits=6, txn=f"stall-{r}"))
+        while len(results) <= r:
+            assert sim.peek() is not None
+            sim.run(max_events=1)
+        net.purge_txn(f"stall-{r}")
+    return results, net, sim
+
+
+def test_quiescence_property_on_stall_workload():
+    """The cycle-skip quiescence property, on a workload where skipping
+    actually fires: (a) every skipped window stops strictly before the
+    next scheduled calendar event, (b) ``cycles_stepped +
+    cycles_skipped`` equals the cycles a stepping kernel grinds
+    through, and (c) the observable results are identical anyway."""
+    soa_results, soa_net, soa_sim = run_stall_workload("soa", trace=True)
+    fast_results, fast_net, fast_sim = run_stall_workload("fast")
+    assert soa_results == fast_results
+    assert soa_sim.now == fast_sim.now
+    assert soa_sim.dispatched == fast_sim.dispatched
+    assert soa_net.total_flit_hops == fast_net.total_flit_hops
+    # The workload stalls for ~delay cycles per round; skipping must
+    # have engaged and must account for every elided step.
+    assert soa_net.cycles_skipped > 0
+    assert (soa_net.cycles_stepped + soa_net.cycles_skipped
+            == fast_net.cycles_stepped)
+    assert soa_net.cycles_skipped == sum(
+        n for _, n, _ in soa_net._skip_trace)
+    for t0, n, nxt_event in soa_net._skip_trace:
+        assert n > 0
+        # A skip never crosses (or lands on) a scheduled event
+        # timestamp: the cycle that processes the event is stepped.
+        assert nxt_event is None or t0 + n < nxt_event
