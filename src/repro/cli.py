@@ -18,7 +18,14 @@ Commands:
 * ``cache`` — inspect (``info``) or wipe (``clear``) the
   content-addressed sweep result cache under ``.repro-cache/``,
   including the sweep journals of interrupted runs and the corrupt-
-  entry purge tally.
+  entry purge tally;
+* ``serve`` — run the multi-tenant simulation service: an async HTTP
+  front end that dedupes requests by cache digest, coalesces
+  concurrent identical requests, queues misses fairly per client
+  under admission control, and reports ``/metrics``
+  (``docs/SERVE.md``);
+* ``load`` — load-test a running ``repro serve`` endpoint and print
+  requests/s, latency quantiles, and the observed cache-hit rate.
 
 The sweep-shaped commands (``sweep``/``figs``, ``report``, ``faults``,
 ``chaos``) all accept ``--jobs N`` (``0`` = one worker process per CPU
@@ -207,6 +214,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--dir", default=None,
                          help="cache root (default: $REPRO_CACHE_DIR "
                               "or .repro-cache/)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP simulation service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="worker processes for cache misses "
+                              "(0 = one per CPU core)")
+    p_serve.add_argument("--executor", default="process",
+                         choices=["process", "thread"],
+                         help="worker pool kind (process = isolated, "
+                              "watchdog can reclaim hung workers)")
+    p_serve.add_argument("--queue-depth", type=int, default=256,
+                         help="max pending cache misses before "
+                              "requests are rejected 429 queue-full")
+    p_serve.add_argument("--rate", type=float, default=0.0,
+                         help="per-client admission rate in requests/s "
+                              "(token bucket; 0 = unlimited)")
+    p_serve.add_argument("--burst", type=int, default=16,
+                         help="per-client token-bucket burst capacity")
+    p_serve.add_argument("--job-timeout", type=float, default=300.0,
+                         help="per-attempt wall-clock watchdog seconds "
+                              "for a simulation job (0 = none)")
+    p_serve.add_argument("--job-retries", type=int, default=2,
+                         help="retries before a job is quarantined "
+                              "and surfaces as a 500 job-failed")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="result-cache root (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache/)")
+
+    p_load = sub.add_parser(
+        "load", help="load-test a running repro serve endpoint")
+    p_load.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="server base URL")
+    p_load.add_argument("--clients", type=int, default=8,
+                        help="concurrent keep-alive connections")
+    p_load.add_argument("--requests", type=int, default=50,
+                        help="requests per connection")
+    p_load.add_argument("--schemes", type=_csv_strs,
+                        default=["ui-ua", "mi-ua-ec", "mi-ma-ec"],
+                        help="comma-separated scheme names (one spec "
+                             "per scheme)")
+    p_load.add_argument("--mesh", type=int, default=4)
+    p_load.add_argument("--degrees", type=_csv_ints, default=[2, 4])
+    p_load.add_argument("--per-degree", type=int, default=2)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--out", default=None,
+                        help="also write the stats JSON here")
 
     p_replay = sub.add_parser(
         "replay", help="re-run a chaos repro bundle")
@@ -441,14 +497,98 @@ def cmd_replay(args) -> int:
     return 1
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: run the HTTP simulation service until
+    interrupted."""
+    import asyncio
+
+    from repro.runner import ResultCache, default_cache
+    from repro.runner.supervisor import RetryPolicy
+    from repro.serve import ServiceConfig, SimulationService, run_server
+
+    try:
+        config = ServiceConfig(
+            workers=args.workers, executor=args.executor,
+            queue_depth=args.queue_depth, rate=args.rate,
+            burst=args.burst,
+            policy=RetryPolicy(timeout=args.job_timeout,
+                               max_retries=args.job_retries))
+    except ValueError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    cache = (ResultCache(args.cache_dir) if args.cache_dir is not None
+             else default_cache())
+    service = SimulationService(cache=cache, config=config)
+
+    def ready(address):
+        host, port = address
+        print(f"serving on http://{host}:{port} "
+              f"({service.workers} {args.executor} worker(s), cache "
+              f"{cache.root})")
+        print("endpoints: POST /jobs, GET /jobs/<id>[?stream=1], "
+              "GET /results/<digest>, GET /metrics, GET /healthz")
+
+    try:
+        asyncio.run(run_server(service, args.host, args.port,
+                               ready=ready))
+    except KeyboardInterrupt:
+        print("interrupted — shutting down")
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_load(args) -> int:
+    """``repro load``: load-test a running serve endpoint."""
+    import asyncio
+    import json as _json
+    from urllib.parse import urlsplit
+
+    from repro.serve.loadtest import run_load
+
+    parts = urlsplit(args.url if "//" in args.url
+                     else f"http://{args.url}")
+    host, port = parts.hostname or "127.0.0.1", parts.port or 80
+    specs = [{"scheme": scheme, "mesh": args.mesh,
+              "degrees": args.degrees, "per_degree": args.per_degree,
+              "seed": args.seed}
+             for scheme in args.schemes]
+    try:
+        stats = asyncio.run(run_load(host, port, specs,
+                                     clients=args.clients,
+                                     requests=args.requests))
+    except (OSError, ConnectionError) as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    print(f"{stats['requests']} requests over {stats['clients']} "
+          f"connection(s) in {stats['elapsed_s']:.2f}s")
+    print(f"  {stats['requests_per_sec']:.0f} req/s, p50 "
+          f"{stats['p50_ms']:.2f} ms, p99 {stats['p99_ms']:.2f} ms, "
+          f"max {stats['max_ms']:.2f} ms")
+    print(f"  hit rate {stats['hit_rate']:.3f} (sources "
+          f"{stats['sources']}), {stats['errors']} error(s)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(stats, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if stats["errors"] == 0 else 1
+
+
 def cmd_cache(args) -> int:
     """``repro cache``: inspect or wipe the sweep result cache and the
     sweep journals of interrupted runs."""
     import os as _os
 
-    from repro.runner import ResultCache, clear_journals, journal_info
+    from repro.runner import ResultCache, clear_journals, default_cache, \
+        journal_info
 
-    cache = ResultCache(args.dir)
+    # --dir gets its own handle; the default root shares the memoized
+    # process-default instance (true lifetime counters).
+    cache = ResultCache(args.dir) if args.dir is not None \
+        else default_cache()
     journal_root = _os.path.join(cache.root, "journal")
     if args.action == "info":
         info = cache.info()
@@ -515,6 +655,8 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "replay": cmd_replay,
     "cache": cmd_cache,
+    "serve": cmd_serve,
+    "load": cmd_load,
 }
 
 

@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
 import tempfile
 from typing import Any, Optional
 
@@ -200,23 +201,39 @@ class ResultCache:
             return 0
 
     def store(self, digest: str, key: dict, result: Any) -> None:
-        """Atomically persist ``result`` under ``digest``."""
+        """Atomically persist ``result`` under ``digest``.
+
+        A :meth:`clear` racing this store (another process, or the
+        server's maintenance endpoint) can remove ``objects/<xx>/``
+        between the ``makedirs`` and the ``os.replace`` — the directory
+        vanishing mid-write is an expected lifecycle event, not a
+        corrupted cache, so the makedirs+write+replace sequence retries
+        once before letting the error escape.
+        """
         path = self._path(digest)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        entry = {"cache_schema": CACHE_SCHEMA, "key": _roundtrip(key),
-                 "result": result}
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        blob = pickle.dumps(
+            {"cache_schema": CACHE_SCHEMA, "key": _roundtrip(key),
+             "result": result}, protocol=pickle.HIGHEST_PROTOCOL)
+        for retry in (False, True):
             try:
-                os.remove(tmp)
-            except OSError:
-                pass
-            raise
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                           suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(blob)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.remove(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except (FileNotFoundError, NotADirectoryError):
+                if retry:
+                    raise
+                continue
+            break
         self.stores += 1
 
     # -- maintenance ---------------------------------------------------
@@ -245,13 +262,15 @@ class ResultCache:
 
     def clear(self) -> int:
         """Remove every entry (and reset the corruption tally); returns
-        the number of entries removed."""
+        the number of entries removed.
+
+        The whole ``objects/`` tree goes, fan-out directories included;
+        a concurrent :meth:`store` recreates its directory and retries
+        (see :meth:`store`), so clearing under load is safe.
+        """
         paths = self._entries()
-        for path in paths:
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        shutil.rmtree(os.path.join(self.root, "objects"),
+                      ignore_errors=True)
         try:
             os.remove(self._corrupt_log_path())
         except OSError:
@@ -270,7 +289,25 @@ def _roundtrip(key: dict) -> dict:
                                  default=_json_default))
 
 
+#: Memoized process-default instances, one per resolved root.
+_default_caches: dict[str, ResultCache] = {}
+
+
 def default_cache() -> ResultCache:
     """The process-default cache (root from ``REPRO_CACHE_DIR`` or
-    ``.repro-cache/`` under the current directory)."""
-    return ResultCache()
+    ``.repro-cache/`` under the current directory).
+
+    Memoized per resolved root: every call site sharing a root shares
+    one :class:`ResultCache` instance, so the ``hits``/``misses``/
+    ``stores``/``corrupt`` counters accumulate process-wide (``repro
+    cache info`` and the ``repro serve`` ``/metrics`` endpoint report
+    true lifetime rates) instead of fragmenting across fresh instances.
+    A changed ``REPRO_CACHE_DIR`` (tests repoint it per session) still
+    takes effect — a new root simply memoizes a new instance.
+    """
+    root = os.path.abspath(
+        os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    cache = _default_caches.get(root)
+    if cache is None:
+        cache = _default_caches[root] = ResultCache(root)
+    return cache

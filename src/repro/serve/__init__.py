@@ -1,0 +1,39 @@
+"""Simulation-as-a-service: the ``repro serve`` front end.
+
+The north-star serving shape over the existing runner stack: an async
+HTTP front end (:mod:`repro.serve.http`) on a transport-independent
+core (:mod:`repro.serve.service`) that dedupes requests by content-
+addressed cache digest, coalesces concurrent identical requests onto
+one simulation, queues misses fairly per client under token-bucket
+admission control, executes them on a shared supervised worker pool,
+and reports hit rate / queue depth / latency histograms via
+``/metrics``.  Request validation lives in
+:mod:`repro.serve.jobspec`; the load-test client (``repro load`` and
+``benchmarks/bench_serve.py``) in :mod:`repro.serve.loadtest`.
+
+See ``docs/SERVE.md`` for the API and the serving guarantees.
+"""
+
+from repro.serve.http import ServeServer, run_server
+from repro.serve.jobspec import JobSpec, SpecError
+from repro.serve.loadtest import fetch_json, fetch_result, run_load
+from repro.serve.service import (AdmissionError, JobRecord, ServiceConfig,
+                                 ServiceMetrics, SimulationService,
+                                 TokenBucket, result_body)
+
+__all__ = [
+    "AdmissionError",
+    "JobRecord",
+    "JobSpec",
+    "ServeServer",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SimulationService",
+    "SpecError",
+    "TokenBucket",
+    "fetch_json",
+    "fetch_result",
+    "result_body",
+    "run_load",
+    "run_server",
+]

@@ -1,0 +1,368 @@
+"""Hand-rolled asyncio HTTP/1.1 front end for the simulation service.
+
+Zero dependencies beyond the stdlib: requests are parsed straight off
+:func:`asyncio.start_server` streams (keep-alive supported — the load
+client reuses connections), responses carry explicit ``Content-Length``
+and a ``X-Cache: hit|coalesced|miss`` header on job submissions.
+
+Endpoints:
+
+=========================  ==========================================
+``POST /jobs``             submit a spec (JSON body); ``"wait": true``
+                           (default) blocks until the result body,
+                           ``false`` returns ``202`` with a job id
+``GET /jobs/<id>``         job-status snapshot; ``?stream=1`` streams
+                           newline-delimited JSON status updates until
+                           the job is terminal
+``GET /results/<digest>``  canonical cached result body for a digest
+``GET /metrics``           :meth:`SimulationService.metrics_snapshot`
+``GET /healthz``           liveness probe
+=========================  ==========================================
+
+Typed errors: malformed specs are 400 with ``{"error":
+"bad-request"}``, admission rejections 429 with the reason
+(``rate-limited`` / ``queue-full``), quarantined jobs 500 with the
+supervision verdict (kind, attempts, child traceback), unknown
+routes/digests 404.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serve.jobspec import JobSpec, SpecError
+from repro.serve.service import AdmissionError, SimulationService
+
+#: Request bodies larger than this are rejected with 413.
+MAX_BODY_BYTES = 1 << 20
+#: Hard cap on header lines per request.
+MAX_HEADERS = 100
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error"}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    peer: str
+    keep_alive: bool = True
+    #: Set for error short-circuits during parsing (e.g. 413).
+    error_status: Optional[int] = None
+    error_detail: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+async def _read_request(reader: asyncio.StreamReader,
+                        peer: str) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a closed
+    connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+        return None
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        return Request("GET", "/", {}, {}, b"", peer,
+                       keep_alive=False, error_status=400,
+                       error_detail="malformed request line")
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    path, _sep, query_text = target.partition("?")
+    query = {}
+    for pair in query_text.split("&"):
+        if pair:
+            key, _sep, value = pair.partition("=")
+            query[key] = value
+    keep_alive = headers.get("connection", "").lower() != "close"
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        return Request(method, path, query, headers, b"", peer,
+                       keep_alive=False, error_status=400,
+                       error_detail="bad Content-Length")
+    if length > MAX_BODY_BYTES:
+        return Request(method, path, query, headers, b"", peer,
+                       keep_alive=False, error_status=413,
+                       error_detail=f"body exceeds {MAX_BODY_BYTES} "
+                                    f"bytes")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method, path, query, headers, body, peer,
+                   keep_alive=keep_alive)
+
+
+def _write_response(writer: asyncio.StreamWriter, status: int,
+                    body: bytes, keep_alive: bool,
+                    content_type: str = "application/json",
+                    extra_headers: tuple = ()) -> None:
+    head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+
+
+class ServeServer:
+    """The asyncio TCP server wrapping one :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = 8642) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.address: Optional[tuple] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections sit in readline(); reap them.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+
+    # -- connection loop ----------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if peername else "unknown"
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader, peer)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                self.service.metrics.http_requests += 1
+                if request.error_status is not None:
+                    _write_response(
+                        writer, request.error_status,
+                        _json_bytes({"error": "bad-request",
+                                     "detail": request.error_detail}),
+                        keep_alive=False)
+                    await writer.drain()
+                    break
+                streamed = await self._dispatch(request, writer)
+                if not streamed:
+                    await writer.drain()
+                if streamed or not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request,
+                        writer: asyncio.StreamWriter) -> bool:
+        """Route one request; returns True if the response was streamed
+        (connection already finished)."""
+        method, path = request.method, request.path
+        if path == "/jobs" and method == "POST":
+            await self._post_jobs(request, writer)
+            return False
+        if path.startswith("/jobs/") and method == "GET":
+            return await self._get_job(request, writer)
+        if path.startswith("/results/") and method == "GET":
+            self._get_result(request, writer)
+            return False
+        if path == "/metrics" and method == "GET":
+            _write_response(writer, 200,
+                            _json_bytes(self.service.metrics_snapshot()),
+                            request.keep_alive)
+            return False
+        if path == "/healthz" and method == "GET":
+            _write_response(writer, 200, _json_bytes({"ok": True}),
+                            request.keep_alive)
+            return False
+        if path in ("/jobs", "/metrics", "/healthz") \
+                or path.startswith(("/jobs/", "/results/")):
+            _write_response(writer, 405,
+                            _json_bytes({"error": "method-not-allowed"}),
+                            request.keep_alive)
+            return False
+        _write_response(writer, 404, _json_bytes({"error": "not-found"}),
+                        request.keep_alive)
+        return False
+
+    # -- handlers ------------------------------------------------------
+    async def _post_jobs(self, request: Request,
+                         writer: asyncio.StreamWriter) -> None:
+        t0 = time.monotonic()
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            _write_response(writer, 400,
+                            _json_bytes({"error": "bad-request",
+                                         "detail": f"invalid JSON: {exc}"}),
+                            request.keep_alive)
+            return
+        try:
+            spec = JobSpec.from_mapping(payload)
+        except SpecError as exc:
+            _write_response(writer, 400,
+                            _json_bytes({"error": "bad-request",
+                                         "detail": str(exc)}),
+                            request.keep_alive)
+            return
+        client = payload.get("client") \
+            or request.headers.get("x-client") or request.peer
+        if not isinstance(client, str) or not client:
+            _write_response(writer, 400,
+                            _json_bytes({"error": "bad-request",
+                                         "detail": "client must be a "
+                                                   "non-empty string"}),
+                            request.keep_alive)
+            return
+        wait = payload.get("wait", True)
+        try:
+            record = await self.service.submit(spec.to_job(), client)
+        except AdmissionError as exc:
+            _write_response(writer, 429,
+                            _json_bytes({"error": exc.reason,
+                                         "detail": exc.detail}),
+                            request.keep_alive)
+            return
+        if not wait:
+            _write_response(
+                writer, 202 if record.status != "done" else 200,
+                _json_bytes(record.snapshot()), request.keep_alive,
+                extra_headers=(("X-Cache", record.source),))
+            return
+        await self.service.wait(record)
+        if record.status == "failed":
+            self.service.metrics.observe(record.source,
+                                         time.monotonic() - t0)
+            _write_response(writer, 500,
+                            _json_bytes(dict(record.flight.error,
+                                             id=record.id,
+                                             digest=record.digest)),
+                            request.keep_alive,
+                            extra_headers=(("X-Cache", record.source),))
+            return
+        self.service.metrics.observe(record.source, time.monotonic() - t0)
+        _write_response(writer, 200, record.flight.body,
+                        request.keep_alive,
+                        extra_headers=(("X-Cache", record.source),
+                                       ("X-Job-Id", record.id),
+                                       ("X-Digest", record.digest)))
+
+    async def _get_job(self, request: Request,
+                       writer: asyncio.StreamWriter) -> bool:
+        job_id = request.path[len("/jobs/"):]
+        record = self.service.lookup(job_id)
+        if record is None:
+            _write_response(writer, 404,
+                            _json_bytes({"error": "not-found",
+                                         "detail": f"unknown job "
+                                                   f"{job_id!r}"}),
+                            request.keep_alive)
+            return False
+        if request.query.get("stream") not in (None, "", "0"):
+            await self._stream_job(record, writer)
+            return True
+        _write_response(writer, 200, _json_bytes(record.snapshot()),
+                        request.keep_alive)
+        return False
+
+    async def _stream_job(self, record,
+                          writer: asyncio.StreamWriter) -> None:
+        """Newline-delimited JSON status updates until terminal."""
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        last = None
+        while True:
+            status = record.status
+            if status != last:
+                writer.write(_json_bytes(record.snapshot()))
+                await writer.drain()
+                last = status
+            if status in ("done", "failed"):
+                return
+            try:
+                await asyncio.wait_for(record.flight.event.wait(), 0.1)
+            except asyncio.TimeoutError:
+                pass
+
+    def _get_result(self, request: Request,
+                    writer: asyncio.StreamWriter) -> None:
+        digest = request.path[len("/results/"):]
+        body = None
+        if len(digest) == 64 and all(c in "0123456789abcdef"
+                                     for c in digest):
+            body = self.service.result_bytes(digest)
+        if body is None:
+            _write_response(writer, 404,
+                            _json_bytes({"error": "not-found",
+                                         "detail": "no cached result "
+                                                   "for that digest"}),
+                            request.keep_alive)
+            return
+        _write_response(writer, 200, body, request.keep_alive,
+                        extra_headers=(("X-Cache", "hit"),))
+
+
+async def run_server(service: SimulationService, host: str, port: int,
+                     ready=None) -> None:
+    """Start the service + server and run until cancelled.
+
+    ``ready`` (optional callable) receives the bound ``(host, port)``
+    once listening — used by the CLI to print the address and by tests
+    to learn an ephemeral port.
+    """
+    await service.start()
+    server = ServeServer(service, host, port)
+    await server.start()
+    if ready is not None:
+        ready(server.address)
+    try:
+        await asyncio.Event().wait()       # run forever
+    finally:
+        await server.close()
+        await service.close()

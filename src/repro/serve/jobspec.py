@@ -1,0 +1,195 @@
+"""Typed request specs for the simulation service.
+
+A serve request is a JSON mapping describing one invalidation-sweep
+job: a scheme, the sweep shape (degrees, patterns per degree, pattern
+kind, seed), and optional :class:`~repro.config.SystemParameters`
+overrides.  :func:`JobSpec.from_mapping` validates it into a frozen
+:class:`JobSpec`, and :meth:`JobSpec.to_job` lowers it onto the *exact*
+job a ``repro sweep`` builds — same function, same arguments, same
+cache-key material — so a served request and a CLI sweep of the same
+config share one cache digest.  That identity is what makes the
+service's dedup work: N clients asking for the same config coalesce
+onto one simulation, and a cache warmed by ``repro sweep`` serves
+``POST /jobs`` hits immediately (and vice versa).
+
+Validation is deliberately strict (unknown fields, out-of-range sizes,
+and execution-only parameter overrides are all rejected with a typed
+:class:`SpecError`): the service is multi-tenant, so a single request
+must not be able to ask for an unboundedly large simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.analysis.experiments import (_analytical_scheme_job,
+                                        _invalidation_scheme_job)
+from repro.config import ConfigError, SystemParameters, paper_parameters
+from repro.core.grouping import SCHEMES
+from repro.runner import Job, key_digest, params_key
+from repro.runner.cache import EXECUTION_ONLY_FIELDS
+
+#: Hard per-request ceilings (admission control at the spec level).
+MAX_MESH = 16
+MAX_DEGREES = 16
+MAX_PER_DEGREE = 64
+
+PATTERN_KINDS = ("uniform", "column", "row")
+
+#: Request fields accepted by :func:`JobSpec.from_mapping`; everything
+#: else is a typo or an attack surface and is rejected.
+_SPEC_FIELDS = frozenset({"scheme", "mesh", "degrees", "per_degree",
+                          "kind", "seed", "home", "analytical", "params"})
+
+#: Transport-level fields the HTTP layer consumes before spec parsing.
+TRANSPORT_FIELDS = frozenset({"client", "wait"})
+
+_PARAM_FIELDS = frozenset(f.name for f in
+                          SystemParameters.__dataclass_fields__.values())
+
+
+class SpecError(ValueError):
+    """A request spec is malformed or out of bounds (HTTP 400)."""
+
+
+def _require_int(payload: Mapping, name: str, default: int,
+                 low: int, high: int) -> int:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(f"{name} must be an integer")
+    if not low <= value <= high:
+        raise SpecError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated simulation request (hashable, immutable)."""
+
+    scheme: str
+    degrees: tuple[int, ...]
+    per_degree: int
+    kind: str
+    seed: int
+    home: Optional[int]
+    analytical: bool
+    params: SystemParameters
+
+    @classmethod
+    def from_mapping(cls, payload: Mapping[str, Any]) -> "JobSpec":
+        """Validate a JSON request body into a :class:`JobSpec`.
+
+        Raises :class:`SpecError` on any unknown field, wrong type,
+        out-of-range size, unknown scheme, or disallowed parameter
+        override.
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecError("request body must be a JSON object")
+        unknown = set(payload) - _SPEC_FIELDS - TRANSPORT_FIELDS
+        if unknown:
+            raise SpecError(f"unknown field(s): {sorted(unknown)}")
+
+        scheme = payload.get("scheme")
+        if scheme not in SCHEMES:
+            raise SpecError(f"scheme must be one of {sorted(SCHEMES)}, "
+                            f"got {scheme!r}")
+        mesh = _require_int(payload, "mesh", 8, 2, MAX_MESH)
+
+        overrides = payload.get("params", {})
+        if not isinstance(overrides, Mapping):
+            raise SpecError("params must be a JSON object of "
+                            "SystemParameters overrides")
+        bad = set(overrides) - _PARAM_FIELDS
+        if bad:
+            raise SpecError(f"unknown parameter(s): {sorted(bad)}")
+        execution = set(overrides) & (EXECUTION_ONLY_FIELDS
+                                      | {"mesh_width", "mesh_height"})
+        if execution:
+            raise SpecError(
+                f"parameter(s) {sorted(execution)} are not overridable "
+                f"per request (use 'mesh' for the topology; execution "
+                f"knobs belong to the server)")
+        try:
+            params = paper_parameters(mesh, **dict(overrides))
+        except (ConfigError, TypeError) as exc:
+            raise SpecError(f"invalid parameters: {exc}") from None
+
+        degrees_raw = payload.get("degrees", [2, 4, 8])
+        if (not isinstance(degrees_raw, (list, tuple)) or not degrees_raw
+                or len(degrees_raw) > MAX_DEGREES):
+            raise SpecError(f"degrees must be a list of 1..{MAX_DEGREES} "
+                            f"integers")
+        degrees = []
+        for d in degrees_raw:
+            if isinstance(d, bool) or not isinstance(d, int):
+                raise SpecError("degrees must be integers")
+            if not 1 <= d < params.num_nodes:
+                raise SpecError(f"degree {d} out of range for a "
+                                f"{params.num_nodes}-node mesh")
+            degrees.append(d)
+
+        per_degree = _require_int(payload, "per_degree", 2, 1,
+                                  MAX_PER_DEGREE)
+        kind = payload.get("kind", "uniform")
+        if kind not in PATTERN_KINDS:
+            raise SpecError(f"kind must be one of {PATTERN_KINDS}, "
+                            f"got {kind!r}")
+        seed = _require_int(payload, "seed", 0, 0, 2**32 - 1)
+        home = payload.get("home")
+        if home is not None:
+            home = _require_int(payload, "home", 0, 0,
+                                params.num_nodes - 1)
+        analytical = payload.get("analytical", False)
+        if not isinstance(analytical, bool):
+            raise SpecError("analytical must be a boolean")
+        if analytical and home is not None:
+            raise SpecError("analytical sweeps do not take a home node")
+        return cls(scheme=scheme, degrees=tuple(degrees),
+                   per_degree=per_degree, kind=kind, seed=seed,
+                   home=home, analytical=analytical, params=params)
+
+    def to_job(self) -> Job:
+        """The :class:`~repro.runner.Job` this spec denotes.
+
+        Function, arguments, and cache-key material are *identical* to
+        the per-scheme jobs :func:`repro.analysis.experiments.
+        run_invalidation_sweep` / ``run_analytical_sweep`` build, so
+        digests are shared between the service and the CLI sweeps.
+        """
+        if self.analytical:
+            return Job(fn=_analytical_scheme_job,
+                       args=(self.scheme, self.degrees, self.per_degree,
+                             self.params, self.kind, self.seed),
+                       key={"fn": "analytical_sweep/scheme",
+                            "params": params_key(self.params),
+                            "scheme": self.scheme,
+                            "degrees": list(self.degrees),
+                            "per_degree": self.per_degree,
+                            "kind": self.kind, "seed": self.seed},
+                       label=f"serve:analytical:{self.scheme}")
+        return Job(fn=_invalidation_scheme_job,
+                   args=(self.scheme, self.degrees, self.per_degree,
+                         self.params, self.kind, self.seed, self.home),
+                   key={"fn": "invalidation_sweep/scheme",
+                        "params": params_key(self.params),
+                        "scheme": self.scheme,
+                        "degrees": list(self.degrees),
+                        "per_degree": self.per_degree,
+                        "kind": self.kind, "seed": self.seed,
+                        "home": self.home},
+                   label=f"serve:sweep:{self.scheme}")
+
+    @property
+    def digest(self) -> str:
+        """The content-addressed cache digest of this spec's job."""
+        return key_digest(self.to_job().key)
+
+    def describe(self) -> dict:
+        """Canonical echo of the spec (for job-status responses)."""
+        return {"scheme": self.scheme, "degrees": list(self.degrees),
+                "per_degree": self.per_degree, "kind": self.kind,
+                "seed": self.seed, "home": self.home,
+                "analytical": self.analytical,
+                "mesh": [self.params.mesh_width,
+                         self.params.mesh_height]}

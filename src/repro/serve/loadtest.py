@@ -1,0 +1,175 @@
+"""Asyncio load-test client for the ``repro serve`` front end.
+
+A fleet of keep-alive HTTP/1.1 connections hammers ``POST /jobs`` with
+a rotating set of specs and measures client-observed latency per
+request, classifying each response by its ``X-Cache`` header (``hit`` /
+``coalesced`` / ``miss``).  :func:`run_load` aggregates the fleet into
+one stats dict (requests/s, p50/p99/mean latency, hit rate, error
+count) — the payload ``benchmarks/bench_serve.py`` persists as
+``BENCH_serve.json`` and ``repro load`` prints.
+
+Stdlib only, same as the server: the point is to measure the serving
+stack, not an HTTP library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from typing import Optional, Sequence
+
+
+async def open_http(host: str, port: int):
+    """One keep-alive client connection."""
+    return await asyncio.open_connection(host, port)
+
+
+async def http_request(reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter, method: str,
+                       path: str, body: Optional[bytes] = None,
+                       headers: Sequence[tuple[str, str]] = ()
+                       ) -> tuple[int, dict[str, str], bytes]:
+    """Send one request on an open connection; returns
+    ``(status, headers, body)``.  Assumes the server answers with a
+    ``Content-Length`` (every non-streamed ``repro serve`` response
+    does)."""
+    lines = [f"{method} {path} HTTP/1.1",
+             f"Host: {writer.get_extra_info('peername')[0]}",
+             "Connection: keep-alive"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    if body is not None:
+        lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(body)}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode()
+                 + (body or b""))
+    await writer.drain()
+
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    parts = status_line.decode("latin-1").split(None, 2)
+    status = int(parts[1])
+    resp_headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = raw.decode("latin-1").partition(":")
+        resp_headers[name.strip().lower()] = value.strip()
+    length = int(resp_headers.get("content-length", "0"))
+    payload = await reader.readexactly(length) if length else b""
+    return status, resp_headers, payload
+
+
+async def post_job(reader, writer, spec: dict, client: str,
+                   wait: bool = True
+                   ) -> tuple[int, dict[str, str], bytes]:
+    """``POST /jobs`` for one spec under one client identity."""
+    body = json.dumps(dict(spec, client=client, wait=wait)).encode()
+    return await http_request(reader, writer, "POST", "/jobs", body)
+
+
+async def fetch_json(host: str, port: int, path: str) -> dict:
+    """One-shot GET returning parsed JSON."""
+    reader, writer = await open_http(host, port)
+    try:
+        status, _headers, body = await http_request(reader, writer,
+                                                    "GET", path)
+        if status != 200:
+            raise RuntimeError(f"GET {path} -> {status}: "
+                               f"{body.decode(errors='replace')}")
+        return json.loads(body)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def fetch_result(host: str, port: int, digest: str) -> bytes:
+    """``GET /results/<digest>`` raw body bytes (raises on non-200)."""
+    reader, writer = await open_http(host, port)
+    try:
+        status, _headers, body = await http_request(
+            reader, writer, "GET", f"/results/{digest}")
+        if status != 200:
+            raise RuntimeError(f"GET /results/{digest} -> {status}")
+        return body
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 when
+    empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+async def _client_worker(host: str, port: int, name: str,
+                         specs: Sequence[dict], requests: int,
+                         offset: int, out: dict) -> None:
+    reader, writer = await open_http(host, port)
+    try:
+        for i in range(requests):
+            spec = specs[(offset + i) % len(specs)]
+            t0 = time.monotonic()
+            status, headers, _body = await post_job(reader, writer,
+                                                    spec, name)
+            elapsed = time.monotonic() - t0
+            out["latencies"].append(elapsed)
+            if status == 200:
+                source = headers.get("x-cache", "miss")
+                out["sources"][source] = out["sources"].get(source, 0) + 1
+            else:
+                out["errors"] += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_load(host: str, port: int, specs: Sequence[dict],
+                   clients: int = 8, requests: int = 50,
+                   client_prefix: str = "load") -> dict:
+    """Drive ``clients`` concurrent connections x ``requests`` each.
+
+    Every client cycles through ``specs`` (staggered starting offsets,
+    so concurrent identical submissions — the coalescing path — occur
+    naturally).  Returns an aggregate stats dict.
+    """
+    out = {"latencies": [], "sources": {}, "errors": 0}
+    t0 = time.monotonic()
+    await asyncio.gather(*[
+        _client_worker(host, port, f"{client_prefix}-{i}", specs,
+                       requests, i, out)
+        for i in range(clients)])
+    elapsed = max(time.monotonic() - t0, 1e-9)
+    lats = sorted(out["latencies"])
+    total = len(lats)
+    hits = out["sources"].get("hit", 0)
+    classified = sum(out["sources"].values())
+    return {
+        "clients": clients,
+        "requests": total,
+        "errors": out["errors"],
+        "elapsed_s": elapsed,
+        "requests_per_sec": total / elapsed,
+        "p50_ms": percentile(lats, 0.50) * 1000.0,
+        "p99_ms": percentile(lats, 0.99) * 1000.0,
+        "mean_ms": (sum(lats) / total * 1000.0) if total else 0.0,
+        "max_ms": (lats[-1] * 1000.0) if lats else 0.0,
+        "sources": dict(out["sources"]),
+        "hit_rate": hits / classified if classified else 0.0,
+    }

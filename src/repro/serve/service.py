@@ -1,0 +1,602 @@
+"""The multi-tenant simulation service: dedup, queueing, supervision.
+
+:class:`SimulationService` is the transport-independent core behind
+``repro serve``.  One instance owns:
+
+* the process-lifetime :class:`~repro.runner.cache.ResultCache` — the
+  warm-replay path that makes serving viable (a cache hit skips the
+  simulation entirely and returns in microseconds);
+* an **in-flight table** keyed on cache digest — N clients requesting
+  the same config while it simulates *coalesce* onto one execution and
+  receive byte-identical bodies;
+* **per-client admission control** — an optional token bucket per
+  client plus a global queue-depth bound, both rejecting with a typed
+  :class:`AdmissionError` before any work is enqueued;
+* **fair queueing** — pending misses sit in per-client FIFO queues
+  drained round-robin, so a flood from one tenant cannot starve
+  another past its fairness bound (one extra job per competing
+  client per dispatch round);
+* a **shared supervised worker pool** — misses execute on a process
+  (or thread) pool under the same :class:`~repro.runner.supervisor.
+  RetryPolicy` semantics as ``run_jobs``: per-attempt wall-clock
+  watchdogs (a hung worker gets its pool killed and rebuilt), bounded
+  retries with exponential backoff, and quarantine behind a typed
+  :class:`~repro.runner.supervisor.JobFailed` that surfaces to the
+  client as a structured error response;
+* :class:`ServiceMetrics` — counters plus :class:`repro.sim.stats.
+  Histogram` latency distributions feeding the ``/metrics`` endpoint.
+
+Everything here is stdlib-only and runs on one asyncio event loop;
+simulations never run on the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.runner import Job, ResultCache, default_cache, key_digest
+from repro.runner.cache import MISS, _json_default
+from repro.runner.supervisor import (JobFailed, JobFailure, RetryPolicy,
+                                     WorkerFailure, _terminate_pool,
+                                     execute_job)
+from repro.sim.stats import Histogram
+
+
+class AdmissionError(RuntimeError):
+    """A request was rejected before any work was enqueued.
+
+    ``reason`` is ``"rate-limited"`` (the client's token bucket is
+    empty) or ``"queue-full"`` (the global pending-miss bound is hit);
+    the HTTP layer maps both to a 429 response.
+    """
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+
+
+def _swallow_future(future) -> None:
+    """Retrieve an abandoned future's exception so asyncio never logs
+    an "exception was never retrieved" warning for it."""
+    if not future.cancelled():
+        future.exception()
+
+
+def result_body(digest: str, result: Any) -> bytes:
+    """Canonical response body for a job result.
+
+    Deterministic serialization (sorted keys, fixed separators) of the
+    raw result rows: the same result object always produces the same
+    bytes, so coalesced waiters, cache replays, and a serial
+    ``run_jobs`` cross-check are all *byte-identical*.
+    """
+    text = json.dumps({"digest": digest, "result": result},
+                      sort_keys=True, separators=(",", ":"),
+                      default=_json_default)
+    return (text + "\n").encode()
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp", "clock")
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.clock = clock
+        self.stamp = clock()
+
+    def try_take(self) -> bool:
+        """Consume one token if available; refills lazily."""
+        now = self.clock()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs (transport-independent).
+
+    ``workers=0`` sizes the pool at one per CPU core.  ``executor``
+    selects the pool kind: ``"process"`` (real isolation — a hung or
+    crashed simulation cannot take the service down, and the watchdog
+    can reclaim its worker) or ``"thread"`` (cheap, used by tests and
+    tiny deployments; a watchdog expiry abandons the thread instead of
+    killing it).  ``rate=0`` disables per-client token buckets.
+    ``queue_depth`` bounds the total *pending* misses across all
+    clients (running jobs do not count).  ``policy`` mirrors the
+    ``job_timeout``/``job_max_retries``/``job_backoff`` supervision
+    family of ``run_jobs``.
+    """
+
+    workers: int = 0
+    executor: str = "process"
+    queue_depth: int = 256
+    rate: float = 0.0
+    burst: int = 16
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per core)")
+        if self.executor not in ("process", "thread"):
+            raise ValueError("executor must be 'process' or 'thread'")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0 (0 = unlimited)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class ServiceMetrics:
+    """Counters + latency histograms behind ``/metrics``.
+
+    Latencies are recorded in milliseconds into
+    :class:`repro.sim.stats.Histogram` instances — hits into a fine
+    0..500 ms grid, misses (real simulations) into a coarse 0..60 s
+    grid, plus a combined distribution; quantiles come from
+    :meth:`Histogram.percentile` (overflow reports the recorded max,
+    never a silent clamp).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self.clock = clock
+        self.started = clock()
+        self.http_requests = 0
+        self.submitted = 0
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.completed = 0
+        self.failed = 0
+        self.retries = 0
+        self.rejected = {"rate-limited": 0, "queue-full": 0}
+        self.latency = {
+            "hit": Histogram("hit_latency_ms", 0.0, 500.0, 500),
+            "miss": Histogram("miss_latency_ms", 0.0, 60_000.0, 600),
+            "all": Histogram("latency_ms", 0.0, 60_000.0, 600),
+        }
+
+    def observe(self, source: str, seconds: float) -> None:
+        """Record one served request's latency (``source`` is ``hit``,
+        ``miss``, or ``coalesced`` — coalesced waiters paid miss-class
+        latency)."""
+        ms = seconds * 1000.0
+        bucket = "hit" if source == "hit" else "miss"
+        self.latency[bucket].add(ms)
+        self.latency["all"].add(ms)
+
+    def _quantiles(self, name: str) -> dict:
+        hist = self.latency[name]
+        return {"n": hist.n,
+                "mean_ms": hist.tally.mean,
+                "p50_ms": hist.percentile(0.50),
+                "p99_ms": hist.percentile(0.99),
+                "max_ms": hist.tally.max or 0.0}
+
+    def snapshot(self, cache: ResultCache, queued: int,
+                 running: int) -> dict:
+        """The ``/metrics`` payload."""
+        uptime = max(self.clock() - self.started, 1e-9)
+        lookups = self.hits + self.misses + self.coalesced
+        return {
+            "uptime_s": uptime,
+            "http_requests": self.http_requests,
+            "requests_per_sec": self.http_requests / uptime,
+            "submitted": self.submitted,
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "rejected": dict(self.rejected),
+            "queue_depth": queued,
+            "running": running,
+            "latency": {name: self._quantiles(name)
+                        for name in ("hit", "miss", "all")},
+            "cache": {"root": cache.root, "hits": cache.hits,
+                      "misses": cache.misses, "stores": cache.stores,
+                      "corrupt": cache.corrupt},
+        }
+
+
+class _Flight:
+    """One digest's lifecycle: queued -> running -> done | failed.
+
+    Every concurrent request for the same digest shares one flight;
+    the terminal body bytes are produced exactly once."""
+
+    __slots__ = ("digest", "job", "client", "status", "body", "error",
+                 "event")
+
+    def __init__(self, digest: str, job: Job, client: str) -> None:
+        self.digest = digest
+        self.job = job
+        self.client = client
+        self.status = "queued"
+        self.body: Optional[bytes] = None
+        self.error: Optional[dict] = None
+        self.event = asyncio.Event()
+
+    def finish(self, body: bytes) -> None:
+        self.status = "done"
+        self.body = body
+        self.event.set()
+
+    def fail(self, error: dict) -> None:
+        self.status = "failed"
+        self.error = error
+        self.event.set()
+
+
+@dataclass
+class JobRecord:
+    """One client submission (unique id), pointing at a shared flight."""
+
+    id: str
+    client: str
+    source: str          # "hit" | "miss" | "coalesced"
+    flight: _Flight
+
+    @property
+    def digest(self) -> str:
+        return self.flight.digest
+
+    @property
+    def status(self) -> str:
+        return self.flight.status
+
+    def snapshot(self) -> dict:
+        """JSON-able status view (``GET /jobs/<id>``)."""
+        view = {"id": self.id, "digest": self.digest,
+                "status": self.status, "source": self.source,
+                "client": self.client}
+        if self.status == "done":
+            view["result_url"] = f"/results/{self.digest}"
+        if self.status == "failed":
+            view["error"] = self.flight.error
+        return view
+
+
+#: Job records retained for ``GET /jobs/<id>`` before the oldest are
+#: pruned (bounds service memory under sustained load).
+MAX_RECORDS = 10_000
+
+
+class SimulationService:
+    """Async front-end core: submit jobs, await flights, read metrics.
+
+    Use as::
+
+        service = SimulationService()
+        await service.start()
+        record = await service.submit(job, client="alice")
+        await service.wait(record)
+        body = record.flight.body        # canonical JSON bytes
+        await service.close()
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 config: Optional[ServiceConfig] = None) -> None:
+        self.cache = cache if cache is not None else default_cache()
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics(self.config.clock)
+        self.workers = self.config.workers or (os.cpu_count() or 1)
+        self._flights: dict[str, _Flight] = {}
+        self._client_queues: dict[str, list[_Flight]] = {}
+        self._rr: list[str] = []
+        self._queued = 0
+        self._running = 0
+        self._buckets: dict[str, TokenBucket] = {}
+        self._records: dict[str, JobRecord] = {}
+        self._next_id = 0
+        self._pool = None
+        self._pool_generation = 0
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._wakeup: Optional[asyncio.Event] = None
+        self._scheduler: Optional[asyncio.Task] = None
+        self._tasks: set[asyncio.Task] = set()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Create the worker pool and the fair-queue scheduler."""
+        if self._started:
+            return
+        self._slots = asyncio.Semaphore(self.workers)
+        self._wakeup = asyncio.Event()
+        self._pool = self._make_pool()
+        self._scheduler = asyncio.create_task(self._schedule(),
+                                              name="serve-scheduler")
+        self._started = True
+
+    async def close(self) -> None:
+        """Cancel scheduled work and reap the pool (no orphans)."""
+        self._started = False
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except BaseException:
+                pass
+            self._scheduler = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._shutdown_pool()
+
+    def _make_pool(self):
+        if self.config.executor == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers,
+                                      thread_name_prefix="serve-worker")
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _shutdown_pool(self) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if isinstance(pool, ProcessPoolExecutor):
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _reclaim_pool(self, generation: int) -> None:
+        """Kill and rebuild the pool after a watchdog expiry or break.
+
+        Guarded by a generation counter so concurrent failures rebuild
+        once; thread pools cannot be killed, so their expired futures
+        are simply abandoned."""
+        if generation != self._pool_generation:
+            return
+        self._pool_generation += 1
+        if isinstance(self._pool, ProcessPoolExecutor):
+            _terminate_pool(self._pool)
+            self._pool = self._make_pool()
+
+    # -- submission ----------------------------------------------------
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.config.rate, self.config.burst, self.config.clock)
+        return bucket
+
+    def _record(self, client: str, source: str,
+                flight: _Flight) -> JobRecord:
+        self._next_id += 1
+        record = JobRecord(id=f"j{self._next_id}", client=client,
+                           source=source, flight=flight)
+        self._records[record.id] = record
+        while len(self._records) > MAX_RECORDS:
+            self._records.pop(next(iter(self._records)))
+        return record
+
+    async def submit(self, job: Job, client: str) -> JobRecord:
+        """Admit one request; returns its :class:`JobRecord`.
+
+        Fast paths resolve immediately (``source`` tells which): a
+        warm cache digest (``"hit"``) or an identical config already
+        queued/simulating (``"coalesced"``).  A genuine miss
+        (``"miss"``) is enqueued on the submitting client's FIFO
+        queue.  Raises :class:`AdmissionError` when the client's token
+        bucket is empty or the pending queue is full, and
+        :class:`ValueError` for uncacheable jobs (no key).
+        """
+        if job.key is None:
+            raise ValueError("served jobs must carry a cache key")
+        self.metrics.submitted += 1
+        if self.config.rate > 0 and not self._bucket(client).try_take():
+            self.metrics.rejected["rate-limited"] += 1
+            raise AdmissionError(
+                "rate-limited",
+                f"client {client!r} exceeded {self.config.rate:g} "
+                f"requests/s (burst {self.config.burst})")
+        digest = key_digest(job.key)
+
+        flight = self._flights.get(digest)
+        if flight is not None:
+            self.metrics.coalesced += 1
+            return self._record(client, "coalesced", flight)
+
+        cached = self.cache.load(digest, job.key)
+        if cached is not MISS:
+            self.metrics.hits += 1
+            flight = _Flight(digest, job, client)
+            flight.finish(result_body(digest, cached))
+            return self._record(client, "hit", flight)
+
+        if self._queued >= self.config.queue_depth:
+            self.metrics.rejected["queue-full"] += 1
+            raise AdmissionError(
+                "queue-full",
+                f"{self._queued} job(s) already pending (bound "
+                f"{self.config.queue_depth})")
+        if not self._started:
+            raise RuntimeError("service not started (await start())")
+        self.metrics.misses += 1
+        flight = _Flight(digest, job, client)
+        self._flights[digest] = flight
+        self._enqueue(client, flight)
+        return self._record(client, "miss", flight)
+
+    async def wait(self, record: JobRecord,
+                   timeout: Optional[float] = None) -> JobRecord:
+        """Block until the record's flight is terminal."""
+        if record.status not in ("done", "failed"):
+            if timeout is None:
+                await record.flight.event.wait()
+            else:
+                await asyncio.wait_for(record.flight.event.wait(),
+                                       timeout)
+        return record
+
+    def lookup(self, job_id: str) -> Optional[JobRecord]:
+        """The record for ``job_id`` (``None`` if unknown/pruned)."""
+        return self._records.get(job_id)
+
+    def result_bytes(self, digest: str) -> Optional[bytes]:
+        """Canonical body for a cached digest (``None`` on miss)."""
+        flight = self._flights.get(digest)
+        if flight is not None and flight.status == "done":
+            return flight.body
+        cached = self.cache.load(digest)
+        if cached is MISS:
+            return None
+        return result_body(digest, cached)
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot(self.cache, self._queued,
+                                     self._running)
+
+    # -- fair queue ----------------------------------------------------
+    def _enqueue(self, client: str, flight: _Flight) -> None:
+        queue = self._client_queues.get(client)
+        if queue is None:
+            queue = self._client_queues[client] = []
+            self._rr.append(client)
+        queue.append(flight)
+        self._queued += 1
+        self._wakeup.set()
+
+    def _dequeue_round_robin(self) -> Optional[_Flight]:
+        """Pop the next flight, rotating fairly across clients."""
+        while self._rr:
+            client = self._rr[0]
+            queue = self._client_queues.get(client)
+            if not queue:
+                self._rr.pop(0)
+                self._client_queues.pop(client, None)
+                continue
+            flight = queue.pop(0)
+            self._queued -= 1
+            # Rotate the served client to the back of the round.
+            self._rr.append(self._rr.pop(0))
+            if not queue:
+                self._client_queues.pop(client, None)
+                self._rr.remove(client)
+            return flight
+        return None
+
+    async def _schedule(self) -> None:
+        """Dispatch loop: one slot per worker, round-robin across
+        clients."""
+        while True:
+            await self._slots.acquire()
+            flight = None
+            try:
+                while flight is None:
+                    flight = self._dequeue_round_robin()
+                    if flight is None:
+                        self._wakeup.clear()
+                        await self._wakeup.wait()
+            except BaseException:
+                self._slots.release()
+                raise
+            task = asyncio.create_task(self._run_flight(flight))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_flight(self, flight: _Flight) -> None:
+        flight.status = "running"
+        self._running += 1
+        try:
+            result = await self._execute(flight.job)
+        except JobFailed as exc:
+            failure = exc.failures[0]
+            self.metrics.failed += 1
+            flight.fail({"error": "job-failed", "kind": failure.kind,
+                         "label": failure.label,
+                         "attempts": failure.attempts,
+                         "traceback": failure.traceback})
+        except asyncio.CancelledError:
+            flight.fail({"error": "cancelled",
+                         "label": flight.job.label})
+            raise
+        except Exception as exc:  # internal (non-job) error
+            self.metrics.failed += 1
+            flight.fail({"error": "internal",
+                         "label": flight.job.label,
+                         "detail": f"{type(exc).__name__}: {exc}"})
+        else:
+            try:
+                self.cache.store(flight.digest, flight.job.key, result)
+            except OSError:
+                pass  # serving the result beats persisting it
+            self.metrics.completed += 1
+            flight.finish(result_body(flight.digest, result))
+        finally:
+            self._running -= 1
+            self._flights.pop(flight.digest, None)
+            self._slots.release()
+
+    # -- supervised execution -----------------------------------------
+    async def _execute(self, job: Job) -> Any:
+        """One job on the shared pool under the retry policy.
+
+        Mirrors :func:`repro.runner.supervisor.run_supervised` for a
+        single job: watchdog timeout -> pool kill + rebuild + retry;
+        job exception (a :class:`WorkerFailure` value) -> retry with
+        backoff; lost worker -> retry; exhaustion -> :class:`JobFailed`.
+        """
+        loop = asyncio.get_running_loop()
+        policy = self.config.policy
+        label = job.label or getattr(job.fn, "__name__", "job")
+        attempts = 0
+        while True:
+            timeout = policy.attempt_timeout(attempts)
+            generation = self._pool_generation
+            future = loop.run_in_executor(self._pool, execute_job, job)
+            try:
+                outcome = await asyncio.wait_for(
+                    asyncio.shield(future),
+                    timeout if math.isfinite(timeout) else None)
+            except asyncio.TimeoutError:
+                kind = "timeout"
+                tb = (f"job exceeded its {timeout:g}s wall-clock "
+                      f"watchdog")
+                self._reclaim_pool(generation)
+                future.cancel()
+                # The abandoned future resolves later (usually with
+                # BrokenProcessPool); consume it silently.
+                future.add_done_callback(_swallow_future)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # BrokenProcessPool and kin
+                kind = "worker-lost"
+                tb = (f"worker lost before the job returned "
+                      f"({type(exc).__name__}: {exc})")
+                self._reclaim_pool(generation)
+            else:
+                if isinstance(outcome, WorkerFailure):
+                    kind, tb = "error", outcome.traceback
+                else:
+                    return outcome
+            attempts += 1
+            if attempts >= policy.max_attempts:
+                raise JobFailed([JobFailure(index=0, label=label,
+                                            kind=kind, attempts=attempts,
+                                            traceback=tb)])
+            self.metrics.retries += 1
+            await asyncio.sleep(policy.attempt_delay(attempts))

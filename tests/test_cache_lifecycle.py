@@ -1,0 +1,187 @@
+"""Cache lifecycle regressions: default-cache memoization and the
+clear-vs-store race.
+
+Two bugs fixed alongside the serving front end:
+
+* ``default_cache()`` used to build a fresh :class:`ResultCache` per
+  call, so hit/miss/store counters fragmented across call sites and
+  ``repro cache info`` / ``/metrics`` under-reported lifetime rates.
+  It is now memoized per resolved root (a changed ``REPRO_CACHE_DIR``
+  still takes effect).
+* ``ResultCache.clear()`` racing an in-flight ``store()`` could remove
+  ``objects/<xx>/`` between the ``makedirs`` and the ``os.replace``,
+  turning an expected lifecycle event into a crash.  ``store()`` now
+  retries the makedirs+write+replace sequence once.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.runner import MISS, ResultCache, default_cache
+from repro.runner.cache import _default_caches
+
+
+@pytest.fixture()
+def fresh_memo():
+    """Snapshot/restore the default-cache memo table around a test."""
+    saved = dict(_default_caches)
+    _default_caches.clear()
+    try:
+        yield _default_caches
+    finally:
+        _default_caches.clear()
+        _default_caches.update(saved)
+
+
+# -- satellite 1: default_cache() memoization ------------------------------
+
+def test_default_cache_is_memoized_per_root(fresh_memo, tmp_path,
+                                            monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+    first = default_cache()
+    assert default_cache() is first
+    assert first.root == str(tmp_path / "a")
+
+
+def test_default_cache_counters_accumulate_across_call_sites(
+        fresh_memo, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+    key = {"fn": "lifecycle-test", "x": 1}
+    writer = default_cache()
+    digest = writer.digest(key)
+    writer.store(digest, key, {"rows": [1, 2, 3]})
+    # A different call site reading the same root must see the same
+    # instance — and therefore one consolidated counter set.
+    reader = default_cache()
+    assert reader is writer
+    assert reader.load(digest, key) == {"rows": [1, 2, 3]}
+    assert (reader.stores, reader.hits) == (1, 1)
+
+
+def test_default_cache_env_change_takes_effect(fresh_memo, tmp_path,
+                                               monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+    first = default_cache()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+    second = default_cache()
+    assert second is not first
+    assert second.root == str(tmp_path / "b")
+    # Flipping back revives the original instance, counters intact.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+    assert default_cache() is first
+
+
+def test_default_cache_distinct_roots_are_independent(fresh_memo,
+                                                      tmp_path,
+                                                      monkeypatch):
+    key = {"fn": "lifecycle-test", "x": 2}
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+    cache_a = default_cache()
+    digest = cache_a.digest(key)
+    cache_a.store(digest, key, "payload")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+    assert default_cache().load(digest, key) is MISS
+
+
+# -- satellite 2: clear() racing store() -----------------------------------
+
+def test_store_retries_when_clear_races_the_replace(tmp_path,
+                                                    monkeypatch):
+    """A clear() between makedirs and os.replace must not break
+    store()."""
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = {"fn": "race-test"}
+    digest = cache.digest(key)
+    real_replace = os.replace
+    raced = {"count": 0}
+
+    def racing_replace(src, dst):
+        if raced["count"] == 0:
+            raced["count"] += 1
+            cache.clear()          # rips out objects/<xx>/ mid-store
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", racing_replace)
+    cache.store(digest, key, {"rows": [42]})
+    assert raced["count"] == 1
+    assert cache.stores == 1
+    assert cache.load(digest, key) == {"rows": [42]}
+
+
+def test_store_gives_up_after_one_retry(tmp_path, monkeypatch):
+    """Persistent directory loss (not a transient race) still
+    surfaces."""
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = {"fn": "race-test"}
+    digest = cache.digest(key)
+
+    def always_gone(src, dst):
+        raise FileNotFoundError(dst)
+
+    monkeypatch.setattr(os, "replace", always_gone)
+    with pytest.raises(FileNotFoundError):
+        cache.store(digest, key, "payload")
+    assert cache.stores == 0
+
+
+def test_store_leaves_no_temp_droppings_on_retry(tmp_path, monkeypatch):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = {"fn": "race-test", "n": 3}
+    digest = cache.digest(key)
+    real_replace = os.replace
+    state = {"raced": False}
+
+    def racing_replace(src, dst):
+        if not state["raced"]:
+            state["raced"] = True
+            cache.clear()
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", racing_replace)
+    cache.store(digest, key, "payload")
+    leftovers = [name for _dir, _subdirs, names
+                 in os.walk(str(tmp_path / "cache"))
+                 for name in names if name.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_concurrent_clear_and_store_never_crash(tmp_path):
+    """Hammer stores from one thread while another clears in a loop."""
+    cache = ResultCache(str(tmp_path / "cache"))
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def clearer():
+        while not stop.is_set():
+            try:
+                cache.clear()
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+    thread = threading.Thread(target=clearer)
+    thread.start()
+    try:
+        for i in range(300):
+            key = {"fn": "race-test", "i": i}
+            cache.store(cache.digest(key), key, i)
+    finally:
+        stop.set()
+        thread.join(timeout=10.0)
+    assert errors == []
+    assert cache.stores == 300
+    # The cache still round-trips after the storm.
+    key = {"fn": "race-test", "final": True}
+    digest = cache.digest(key)
+    cache.store(digest, key, "ok")
+    assert cache.load(digest, key) == "ok"
+
+
+def test_clear_removes_fanout_directories(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = {"fn": "clear-test"}
+    cache.store(cache.digest(key), key, 1)
+    assert cache.clear() == 1
+    assert not os.path.isdir(os.path.join(cache.root, "objects"))
+    assert cache.info()["entries"] == 0

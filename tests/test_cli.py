@@ -236,3 +236,63 @@ def test_chaos_mutation_then_replay(capsys, tmp_path):
 def test_replay_missing_bundle(capsys):
     code = main(["replay", "/nonexistent/bundle.json"])
     assert code == 2
+
+
+def test_serve_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve"])
+    assert (args.host, args.port) == ("127.0.0.1", 8642)
+    assert args.executor == "process"
+    assert args.workers == 0 and args.queue_depth == 256
+    assert args.rate == 0.0 and args.burst == 16
+    assert args.job_timeout == 300.0 and args.job_retries == 2
+
+
+def test_serve_rejects_bad_config(capsys):
+    code = main(["serve", "--queue-depth", "0"])
+    assert code == 2
+
+
+def test_load_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["load"])
+    assert args.url == "http://127.0.0.1:8642"
+    assert args.clients == 8 and args.requests == 50
+    assert args.degrees == [2, 4] and args.mesh == 4
+
+
+def test_load_unreachable_endpoint_fails_gracefully(capsys):
+    code = main(["load", "--url", "http://127.0.0.1:1",
+                 "--clients", "1", "--requests", "1"])
+    assert code == 2
+
+
+def test_serve_and_load_round_trip(capsys, tmp_path):
+    """Boot the served stack in-process and drive it with run_load."""
+    import asyncio
+
+    from repro.runner import ResultCache
+    from repro.serve import (ServeServer, ServiceConfig,
+                             SimulationService, run_load)
+
+    async def main_coro():
+        service = SimulationService(
+            cache=ResultCache(str(tmp_path / "cache")),
+            config=ServiceConfig(workers=2, executor="thread"))
+        await service.start()
+        server = ServeServer(service, "127.0.0.1", 0)
+        await server.start()
+        host, port = server.address
+        try:
+            spec = {"scheme": "ui-ua", "mesh": 2, "degrees": [2],
+                    "per_degree": 1, "seed": 0}
+            return await run_load(host, port, [spec], clients=2,
+                                  requests=4)
+        finally:
+            await server.close()
+            await service.close()
+
+    stats = asyncio.run(main_coro())
+    assert stats["errors"] == 0 and stats["requests"] == 8

@@ -1,0 +1,325 @@
+"""HTTP front-end tests (repro.serve.http) over real sockets.
+
+Each test boots a full server — SimulationService on a thread pool plus
+the asyncio listener on an ephemeral port — and drives it with the
+stdlib load-test client.  Covers the serving contract end to end:
+cold-miss/warm-hit submission with byte-identical bodies, result and
+status endpoints (including ndjson streaming), typed 4xx/5xx error
+responses, and the aggregate ``run_load`` fleet.
+"""
+
+import asyncio
+import json
+import tempfile
+
+import pytest
+
+from repro.runner import ResultCache
+from repro.runner.supervisor import RetryPolicy
+from repro.serve import (JobSpec, ServeServer, ServiceConfig,
+                         SimulationService, run_load)
+from repro.serve.loadtest import (fetch_json, fetch_result, http_request,
+                                  open_http, post_job)
+
+#: Smallest legal sweep: 4-node mesh, one degree, one pattern.
+SPEC = {"scheme": "ui-ua", "mesh": 2, "degrees": [2], "per_degree": 1,
+        "seed": 0}
+
+
+def serve_run(test_coro, **overrides):
+    """Boot service + server, run the test body, tear down."""
+    config = dict(workers=2, executor="thread",
+                  policy=RetryPolicy(timeout=0, max_retries=0,
+                                     retry_delay=0.001))
+    config.update(overrides)
+
+    async def main():
+        with tempfile.TemporaryDirectory(
+                prefix="repro-serve-http-") as root:
+            service = SimulationService(cache=ResultCache(root),
+                                        config=ServiceConfig(**config))
+            await service.start()
+            server = ServeServer(service, "127.0.0.1", 0)
+            await server.start()
+            host, port = server.address
+            try:
+                return await test_coro(host, port, service)
+            finally:
+                await server.close()
+                await service.close()
+    return asyncio.run(main())
+
+
+async def _close(writer):
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+# -- submission ------------------------------------------------------------
+
+def test_cold_miss_then_warm_hit_bodies_are_byte_identical():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            status, headers, cold = await post_job(reader, writer,
+                                                   SPEC, "alice")
+            assert status == 200
+            assert headers["x-cache"] == "miss"
+            assert headers["x-digest"] == JobSpec.from_mapping(SPEC).digest
+            assert headers["x-job-id"].startswith("j")
+
+            status, headers, warm = await post_job(reader, writer,
+                                                   SPEC, "bob")
+            assert status == 200
+            assert headers["x-cache"] == "hit"
+            assert warm == cold                       # byte identity
+
+            payload = json.loads(cold)
+            assert payload["digest"] == headers["x-digest"]
+            assert payload["result"]                  # non-empty rows
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
+def test_result_endpoint_serves_cached_digest():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            _status, headers, posted = await post_job(reader, writer,
+                                                      SPEC, "alice")
+        finally:
+            await _close(writer)
+        digest = headers["x-digest"]
+        assert await fetch_result(host, port, digest) == posted
+
+        with pytest.raises(RuntimeError, match="404"):
+            await fetch_result(host, port, "0" * 64)
+        with pytest.raises(RuntimeError, match="404"):
+            await fetch_result(host, port, "not-a-digest")
+    serve_run(body)
+
+
+def test_async_submit_then_poll_status():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            request = dict(SPEC, client="alice", wait=False)
+            status, _headers, submitted = await http_request(
+                reader, writer, "POST", "/jobs",
+                json.dumps(request).encode())
+            assert status == 202
+            snapshot = json.loads(submitted)
+            assert snapshot["status"] in ("queued", "running")
+            job_id = snapshot["id"]
+
+            for _ in range(1000):
+                view = await fetch_json(host, port, f"/jobs/{job_id}")
+                if view["status"] in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.01)
+            assert view["status"] == "done"
+            assert view["result_url"] == f"/results/{view['digest']}"
+            assert await fetch_result(host, port, view["digest"])
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
+def test_status_streaming_emits_ndjson_until_terminal():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            request = dict(SPEC, client="alice", wait=False)
+            _status, _headers, submitted = await http_request(
+                reader, writer, "POST", "/jobs",
+                json.dumps(request).encode())
+            job_id = json.loads(submitted)["id"]
+        finally:
+            await _close(writer)
+
+        reader, writer = await open_http(host, port)
+        try:
+            writer.write((f"GET /jobs/{job_id}?stream=1 HTTP/1.1\r\n"
+                          f"Host: {host}\r\n\r\n").encode())
+            await writer.drain()
+            head = await reader.readline()
+            assert b"200" in head
+            while True:                       # headers
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n"):
+                    break
+            updates = []
+            while True:                       # ndjson until server EOF
+                line = await reader.readline()
+                if not line:
+                    break
+                updates.append(json.loads(line))
+        finally:
+            await _close(writer)
+        assert updates
+        assert updates[-1]["status"] == "done"
+        assert all(u["id"] == job_id for u in updates)
+    serve_run(body)
+
+
+# -- typed errors ----------------------------------------------------------
+
+def test_malformed_json_is_400():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            status, _headers, resp = await http_request(
+                reader, writer, "POST", "/jobs", b"{not json")
+            assert status == 400
+            assert json.loads(resp)["error"] == "bad-request"
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
+@pytest.mark.parametrize("spec, fragment", [
+    (dict(SPEC, scheme="warp-speed"), "scheme"),
+    (dict(SPEC, typo_field=1), "unknown field"),
+    (dict(SPEC, mesh=999), "mesh"),
+    (dict(SPEC, params={"jobs": 4}), "not overridable"),
+])
+def test_invalid_spec_is_400_with_detail(spec, fragment):
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            status, _headers, resp = await http_request(
+                reader, writer, "POST", "/jobs",
+                json.dumps(dict(spec, client="a")).encode())
+            assert status == 400
+            payload = json.loads(resp)
+            assert payload["error"] == "bad-request"
+            assert fragment in payload["detail"]
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
+def test_unknown_route_404_and_wrong_method_405():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            status, _headers, _resp = await http_request(
+                reader, writer, "GET", "/nope")
+            assert status == 404
+            status, _headers, resp = await http_request(
+                reader, writer, "GET", "/jobs")
+            assert status == 405
+            assert json.loads(resp)["error"] == "method-not-allowed"
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
+def test_rate_limited_client_gets_429():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            status, _headers, _resp = await post_job(reader, writer,
+                                                     SPEC, "alice")
+            assert status == 200
+            status, _headers, resp = await post_job(reader, writer,
+                                                    SPEC, "alice")
+            assert status == 429
+            assert json.loads(resp)["error"] == "rate-limited"
+            # Another tenant is not affected by alice's empty bucket.
+            status, _headers, _resp = await post_job(reader, writer,
+                                                    SPEC, "bob")
+            assert status == 200
+        finally:
+            await _close(writer)
+    serve_run(body, rate=0.0001, burst=1)
+
+
+def test_failed_job_is_500_with_supervision_verdict():
+    async def body(host, port, service):
+        # Reach past the HTTP-validated spec surface: make the worker
+        # itself die so the supervised JobFailed verdict travels back
+        # as a typed 500.
+        from repro.runner import Job
+
+        def _boom():
+            raise RuntimeError("worker exploded")
+
+        async def failing_submit(job, client,
+                                 _original=service.submit):
+            return await _original(
+                Job(fn=_boom, args=(), key=job.key, label=job.label),
+                client)
+
+        service.submit = failing_submit
+        reader, writer = await open_http(host, port)
+        try:
+            status, headers, resp = await post_job(reader, writer,
+                                                   SPEC, "alice")
+        finally:
+            await _close(writer)
+        assert status == 500
+        assert headers["x-cache"] == "miss"
+        payload = json.loads(resp)
+        assert payload["error"] == "job-failed"
+        assert payload["kind"] == "error"
+        assert "worker exploded" in payload["traceback"]
+    serve_run(body)
+
+
+def test_oversized_body_is_413():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            writer.write((f"POST /jobs HTTP/1.1\r\nHost: {host}\r\n"
+                          f"Content-Length: {(1 << 20) + 1}\r\n"
+                          f"\r\n").encode())
+            await writer.drain()
+            head = await reader.readline()
+            assert b"413" in head
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
+# -- metrics / health / fleet ---------------------------------------------
+
+def test_metrics_endpoint_reflects_traffic():
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            await post_job(reader, writer, SPEC, "alice")
+            await post_job(reader, writer, SPEC, "alice")
+        finally:
+            await _close(writer)
+        metrics = await fetch_json(host, port, "/metrics")
+        assert metrics["misses"] == 1
+        assert metrics["hits"] == 1
+        assert metrics["hit_rate"] == pytest.approx(0.5)
+        assert metrics["http_requests"] >= 2
+        assert metrics["latency"]["hit"]["n"] == 1
+        assert metrics["cache"]["stores"] == 1
+    serve_run(body)
+
+
+def test_healthz():
+    async def body(host, port, service):
+        assert await fetch_json(host, port, "/healthz") == {"ok": True}
+    serve_run(body)
+
+
+def test_run_load_fleet_end_to_end():
+    async def body(host, port, service):
+        specs = [SPEC, dict(SPEC, seed=1)]
+        stats = await run_load(host, port, specs, clients=4, requests=6)
+        assert stats["errors"] == 0
+        assert stats["requests"] == 24
+        assert stats["hit_rate"] > 0.5
+        assert set(stats["sources"]) <= {"hit", "miss", "coalesced"}
+        assert stats["p99_ms"] >= stats["p50_ms"] >= 0.0
+        return stats
+    serve_run(body)
