@@ -64,22 +64,26 @@ def spec_set(smoke: bool) -> list[dict]:
 class ServerThread:
     """A live server on a background event loop (ephemeral port)."""
 
-    def __init__(self, cache_root: str, workers: int) -> None:
+    def __init__(self, cache_root: str, workers: int,
+                 quota_bytes: int = 0) -> None:
         self.loop = asyncio.new_event_loop()
         self.thread = threading.Thread(target=self.loop.run_forever,
                                        daemon=True)
         self.thread.start()
         self.service = None
         self.server = None
-        self.host, self.port = self._call(self._boot(cache_root, workers))
+        self.host, self.port = self._call(
+            self._boot(cache_root, workers, quota_bytes))
 
     def _call(self, coro, timeout: float = 120.0):
         return asyncio.run_coroutine_threadsafe(coro, self.loop) \
             .result(timeout)
 
-    async def _boot(self, cache_root: str, workers: int):
+    async def _boot(self, cache_root: str, workers: int,
+                    quota_bytes: int):
         self.service = SimulationService(
-            cache=ResultCache(cache_root),
+            cache=ResultCache(cache_root,
+                              quota_bytes=quota_bytes or None),
             config=ServiceConfig(workers=workers, executor="process",
                                  policy=RetryPolicy(timeout=300.0,
                                                     max_retries=2)))
@@ -125,6 +129,12 @@ def main(argv=None) -> int:
                              "smoke, 200 full)")
     parser.add_argument("--workers", type=int, default=2,
                         help="server worker processes")
+    parser.add_argument("--cache-quota-mib", type=float, default=0.0,
+                        help="cache byte quota with LRU eviction "
+                             "(0 = unbounded); the warm-phase gates "
+                             "must hold with it enabled, proving the "
+                             "integrity/quota machinery costs nothing "
+                             "on the hot path")
     parser.add_argument("--min-hit-rate", type=float, default=0.95,
                         help="warm-phase cache-hit-rate floor")
     parser.add_argument("--p99-ceiling-ms", type=float, default=500.0,
@@ -137,12 +147,16 @@ def main(argv=None) -> int:
     specs = spec_set(args.smoke)
 
     failures: list[str] = []
+    quota_bytes = int(args.cache_quota_mib * (1 << 20))
     with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
-        server = ServerThread(root, args.workers)
+        server = ServerThread(root, args.workers,
+                              quota_bytes=quota_bytes)
         try:
             host, port = server.host, server.port
+            quota_note = (f", quota {args.cache_quota_mib:g} MiB"
+                          if quota_bytes else "")
             print(f"serving on {host}:{port} ({args.workers} worker "
-                  f"process(es), cache {root})")
+                  f"process(es), cache {root}{quota_note})")
 
             print(f"cold phase: {len(specs)} distinct spec(s)")
             cold = asyncio.run(run_load(host, port, specs, clients=1,
@@ -187,6 +201,7 @@ def main(argv=None) -> int:
         "schema": SCHEMA,
         "smoke": args.smoke,
         "workers": args.workers,
+        "cache_quota_bytes": quota_bytes,
         "specs": len(specs),
         "cold": cold,
         "warm": warm,

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Serve chaos harness: scripted adversaries against the HTTP stack.
+
+Drives :func:`repro.chaos.run_serve_chaos` — slowloris and malformed
+clients, SIGTERM mid-ndjson-stream, corrupted/over-quota cache entries
+under load, and a poisoned worker pool behind the circuit breaker —
+and verifies the resilience contract documented in ``docs/SERVE.md``:
+no hang past the configured deadlines, only well-formed typed
+responses, and a post-chaos warm replay byte-identical to a clean
+serial ``run_jobs`` sweep.
+
+CI runs the smoke profile::
+
+    PYTHONPATH=src python benchmarks/bench_serve_chaos.py --smoke \
+        --workdir serve-chaos --out serve-chaos/summary.json
+
+and uploads ``--workdir`` (the scenario caches) as an artifact when a
+scenario fails.  Exit status is 0 iff every scenario survived.
+
+Note: the ``sigterm`` scenario sends a real SIGTERM to this process —
+the asyncio loop handler absorbs it and turns it into a graceful
+drain, which is exactly the behaviour under test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos import run_serve_chaos
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="chaos-test the repro serve HTTP stack")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small mesh/short deadline profile "
+                             "(~seconds; what CI runs)")
+    parser.add_argument("--workdir", default=None,
+                        help="directory for the scenario caches "
+                             "(default: a temp dir; pass a path so CI "
+                             "can upload it on failure)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON summary here as well")
+    args = parser.parse_args(argv)
+
+    summary = run_serve_chaos(smoke=args.smoke, workdir=args.workdir,
+                              log=print)
+    print()
+    for scenario in summary["scenarios"]:
+        mark = "ok " if scenario["ok"] else "FAIL"
+        print(f"  [{mark}] {scenario['name']:<11} {scenario['detail']}")
+    verdict = "survived" if summary["ok"] else "FAILED"
+    print(f"\nserve chaos: {len(summary['scenarios'])} scenario(s) "
+          f"{verdict}; baseline digest "
+          f"{summary['baseline_digest'][:16]}…")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"summary written to {args.out}")
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ from repro.chaos.bundle import (BUNDLE_FORMAT, load_bundle, make_bundle,
 from repro.chaos.runner import run_chaos
 from repro.chaos.runner_faults import (RUNNER_CHAOS_SCENARIOS,
                                        run_runner_chaos)
+from repro.chaos.serve_faults import (SERVE_CHAOS_SCENARIOS,
+                                      run_serve_chaos)
 from repro.chaos.scenario import (CHAOS_SCHEMES, ChaosResult, ChaosScenario,
                                   MUTATIONS, build_fault_plan, build_system,
                                   build_traces, generate_scenario,
@@ -23,6 +25,7 @@ __all__ = [
     "ChaosScenario",
     "MUTATIONS",
     "RUNNER_CHAOS_SCENARIOS",
+    "SERVE_CHAOS_SCENARIOS",
     "build_fault_plan",
     "build_system",
     "build_traces",
@@ -33,6 +36,7 @@ __all__ = [
     "run_chaos",
     "run_runner_chaos",
     "run_scenario",
+    "run_serve_chaos",
     "shrink",
     "write_bundle",
 ]

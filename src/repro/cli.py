@@ -208,7 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the sweep result cache")
-    p_cache.add_argument("action", choices=["info", "clear"],
+    p_cache.add_argument("action", choices=["info", "clear", "fsck"],
                          help="'info' prints the root, entry count, and "
                               "total bytes; 'clear' removes every entry")
     p_cache.add_argument("--dir", default=None,
@@ -244,6 +244,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-dir", default=None,
                          help="result-cache root (default: "
                               "$REPRO_CACHE_DIR or .repro-cache/)")
+    p_serve.add_argument("--cache-quota-mib", type=float, default=0.0,
+                         help="cache size quota in MiB; LRU entries "
+                              "are evicted past it (0 = unbounded)")
+    p_serve.add_argument("--breaker-threshold", type=int, default=0,
+                         help="consecutive pool failures that trip "
+                              "the circuit breaker (0 = disabled)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         help="seconds the breaker stays open before "
+                              "a half-open probe (default 30)")
+    p_serve.add_argument("--degraded", action="store_true",
+                         help="answer sweeps from the analytical "
+                              "model (marked 'degraded') while the "
+                              "breaker is open, instead of 503")
+    p_serve.add_argument("--header-timeout", type=float, default=10.0,
+                         help="deadline for a request's header block "
+                              "(seconds; 0 disables)")
+    p_serve.add_argument("--body-timeout", type=float, default=20.0,
+                         help="deadline for reading a declared body "
+                              "(seconds; 0 disables)")
+    p_serve.add_argument("--idle-timeout", type=float, default=60.0,
+                         help="keep-alive idle deadline between "
+                              "requests (seconds; 0 disables)")
+    p_serve.add_argument("--write-timeout", type=float, default=20.0,
+                         help="deadline for each response write "
+                              "(seconds; 0 disables)")
+    p_serve.add_argument("--max-connections", type=int, default=256,
+                         help="concurrent connection cap; excess "
+                              "gets an immediate 503 (0 = unbounded)")
+    p_serve.add_argument("--drain", type=float, default=10.0,
+                         help="graceful-drain deadline on "
+                              "SIGTERM/SIGINT: seconds in-flight "
+                              "requests may finish (0 = cancel "
+                              "immediately)")
 
     p_load = sub.add_parser(
         "load", help="load-test a running repro serve endpoint")
@@ -504,20 +537,35 @@ def cmd_serve(args) -> int:
 
     from repro.runner import ResultCache, default_cache
     from repro.runner.supervisor import RetryPolicy
-    from repro.serve import ServiceConfig, SimulationService, run_server
+    from repro.serve import (ServeConfig, ServiceConfig,
+                             SimulationService, run_server)
 
+    quota = int(args.cache_quota_mib * (1 << 20)) or None
     try:
         config = ServiceConfig(
             workers=args.workers, executor=args.executor,
             queue_depth=args.queue_depth, rate=args.rate,
             burst=args.burst,
             policy=RetryPolicy(timeout=args.job_timeout,
-                               max_retries=args.job_retries))
+                               max_retries=args.job_retries),
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            degraded=args.degraded)
+        serve_config = ServeConfig(
+            header_timeout=args.header_timeout,
+            body_timeout=args.body_timeout,
+            idle_timeout=args.idle_timeout,
+            write_timeout=args.write_timeout,
+            max_connections=args.max_connections)
+        if args.drain < 0:
+            raise ValueError("--drain must be >= 0")
     except ValueError as exc:
         print(f"invalid configuration: {exc}", file=sys.stderr)
         return 2
-    cache = (ResultCache(args.cache_dir) if args.cache_dir is not None
-             else default_cache())
+    if args.cache_dir is not None or quota:
+        cache = ResultCache(args.cache_dir, quota_bytes=quota)
+    else:
+        cache = default_cache()
     service = SimulationService(cache=cache, config=config)
 
     def ready(address):
@@ -530,7 +578,8 @@ def cmd_serve(args) -> int:
 
     try:
         asyncio.run(run_server(service, args.host, args.port,
-                               ready=ready))
+                               ready=ready, config=serve_config,
+                               drain=args.drain))
     except KeyboardInterrupt:
         print("interrupted — shutting down")
     except OSError as exc:
@@ -601,6 +650,21 @@ def cmd_cache(args) -> int:
               f"awaiting --resume ({journals['entries']} job result(s), "
               f"{journals['bytes']} bytes)")
         return 0
+    if args.action == "fsck":
+        report = cache.fsck()
+        print(f"cache root: {report['root']}")
+        print(f"scanned:    {report['scanned']} entr"
+              f"{'y' if report['scanned'] == 1 else 'ies'} "
+              f"({report['bytes']} bytes)")
+        print(f"ok:         {report['ok']}")
+        print(f"purged:     {report['purged']} (checksum/schema "
+              f"failures)")
+        if report["quota_bytes"]:
+            state = ("OVER QUOTA" if report["over_quota"]
+                     else "within quota")
+            print(f"quota:      {report['quota_bytes']} bytes "
+                  f"({state})")
+        return 0 if report["purged"] == 0 else 1
     removed = cache.clear()
     journals = clear_journals(journal_root)
     print(f"cleared {removed} cache entr"

@@ -22,6 +22,21 @@ Invalidation rules (any of these forces a re-simulation):
 Entries are written atomically (temp file + :func:`os.replace`) by the
 *parent* process only, so concurrent sweep workers never race on the
 cache; corrupt or unreadable entries are treated as misses and removed.
+
+Integrity and bounds (the self-healing contract):
+
+* every entry embeds a SHA-256 checksum of its pickled payload,
+  verified on every load — a bit-flipped or truncated entry is purged
+  and re-simulated, **never** returned as a wrong result;
+* an optional byte quota (``quota_bytes`` or ``REPRO_CACHE_QUOTA``)
+  evicts least-recently-used entries after each store (loads refresh
+  recency), so a long-lived server's cache cannot grow without bound;
+* write failures that are about the *disk*, not the caller (``ENOSPC``,
+  read-only filesystems, quota errors) degrade the cache to
+  pass-through — counted in ``write_errors`` — instead of failing the
+  sweep or the serving request;
+* :meth:`ResultCache.fsck` scrubs every entry offline (``repro cache
+  fsck``), purging anything unreadable and reporting quota pressure.
 """
 
 from __future__ import annotations
@@ -36,7 +51,8 @@ import tempfile
 from typing import Any, Optional
 
 #: Bumped whenever the on-disk entry layout changes; part of every key.
-CACHE_SCHEMA = 1
+#: Schema 2 added the per-entry checksum header line.
+CACHE_SCHEMA = 2
 
 #: Sentinel distinguishing "miss" from a cached ``None`` result.
 _MISS = object()
@@ -121,22 +137,41 @@ class ResultCache:
     """Digest-addressed pickle store under a single root directory.
 
     Layout: ``<root>/objects/<digest[:2]>/<digest>.pkl`` — each entry a
-    pickle of ``{"cache_schema", "key", "result"}``.  Results round-trip
+    hex SHA-256 checksum line followed by a pickle of
+    ``{"cache_schema", "key", "result"}``; the checksum covers the
+    pickle bytes and is verified on every load, so silent on-disk
+    corruption can never surface as a wrong result.  Results round-trip
     through :mod:`pickle`, so replays are *bit-identical* to the fresh
     run (numpy scalar types and all).  The instance counts ``hits``,
-    ``misses``, ``stores``, and ``corrupt`` (purged-entry) events for
+    ``misses``, ``stores``, ``corrupt`` (purged-entry), ``evictions``
+    (quota), and ``write_errors`` (disk-full pass-through) events for
     reporting; every purge is additionally appended to
     ``<root>/corrupt.log`` so ``repro cache info`` can report lifetime
     corruption, not just this process's.
+
+    ``quota_bytes`` (default from ``REPRO_CACHE_QUOTA``; ``0`` =
+    unbounded) bounds the total entry bytes: after each store the
+    least-recently-used entries are evicted until the total fits.
+    Loads refresh an entry's recency (mtime), so a serving hot set
+    survives eviction pressure.
     """
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(self, root: Optional[str] = None,
+                 quota_bytes: Optional[int] = None) -> None:
         self.root = os.path.abspath(
             root or os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+        if quota_bytes is None:
+            quota_bytes = int(os.environ.get("REPRO_CACHE_QUOTA", "0")
+                              or 0)
+        if quota_bytes < 0:
+            raise ValueError("quota_bytes must be >= 0 (0 = unbounded)")
+        self.quota_bytes = quota_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.evictions = 0
+        self.write_errors = 0
 
     # -- addressing ----------------------------------------------------
     def digest(self, key: dict) -> str:
@@ -147,17 +182,34 @@ class ResultCache:
                             f"{digest}.pkl")
 
     # -- read / write --------------------------------------------------
+    @staticmethod
+    def _decode(raw: bytes) -> dict:
+        """Checksum-verify and unpickle one entry's file bytes.
+
+        Raises :class:`ValueError` on a malformed header or a checksum
+        mismatch (both mean on-disk corruption) and lets pickle errors
+        propagate for truncated payloads.
+        """
+        head, sep, blob = raw.partition(b"\n")
+        if not sep or len(head) != 64:
+            raise ValueError("malformed cache entry header")
+        if hashlib.sha256(blob).hexdigest().encode("ascii") != head:
+            raise ValueError("cache entry checksum mismatch")
+        return pickle.loads(blob)
+
     def load(self, digest: str, key: Optional[dict] = None) -> Any:
         """The cached result for ``digest``, or :data:`MISS`.
 
+        The entry's SHA-256 checksum is verified before unpickling.
         When ``key`` is given, the stored key must match it exactly
         (guards against digest-construction bugs); mismatches and
-        corrupt entries are dropped and reported as misses.
+        corrupt entries are dropped and reported as misses — a
+        corrupted entry re-simulates, it never replays wrong.
         """
         path = self._path(digest)
         try:
             with open(path, "rb") as fh:
-                entry = pickle.load(fh)
+                entry = self._decode(fh.read())
             if entry.get("cache_schema") != CACHE_SCHEMA:
                 raise ValueError("cache schema mismatch")
             if key is not None and entry.get("key") != _roundtrip(key):
@@ -177,6 +229,10 @@ class ResultCache:
             self._log_corrupt(digest, exc)
             return _MISS
         self.hits += 1
+        try:
+            os.utime(path)        # refresh recency for LRU eviction
+        except OSError:
+            pass
         return entry["result"]
 
     def _corrupt_log_path(self) -> str:
@@ -200,41 +256,90 @@ class ResultCache:
         except OSError:
             return 0
 
-    def store(self, digest: str, key: dict, result: Any) -> None:
+    def store(self, digest: str, key: dict, result: Any) -> bool:
         """Atomically persist ``result`` under ``digest``.
 
-        A :meth:`clear` racing this store (another process, or the
-        server's maintenance endpoint) can remove ``objects/<xx>/``
-        between the ``makedirs`` and the ``os.replace`` — the directory
-        vanishing mid-write is an expected lifecycle event, not a
-        corrupted cache, so the makedirs+write+replace sequence retries
-        once before letting the error escape.
+        Returns ``True`` when the entry landed on disk.  Two distinct
+        failure families are handled differently:
+
+        * A :meth:`clear` racing this store (another process, or the
+          server's maintenance endpoint) can remove ``objects/<xx>/``
+          between the ``makedirs`` and the ``os.replace`` — the
+          directory vanishing mid-write is an expected lifecycle event,
+          not a corrupted cache, so the makedirs+write+replace sequence
+          retries once before letting the error escape.
+        * Disk-environment failures (``ENOSPC``, read-only filesystem,
+          quota exceeded, ...) are not the caller's problem to recover:
+          the cache degrades to pass-through — the write is dropped,
+          ``write_errors`` counts it, and the sweep or serving request
+          proceeds with its in-memory result.
         """
         path = self._path(digest)
         blob = pickle.dumps(
             {"cache_schema": CACHE_SCHEMA, "key": _roundtrip(key),
              "result": result}, protocol=pickle.HIGHEST_PROTOCOL)
-        for retry in (False, True):
-            try:
-                os.makedirs(os.path.dirname(path), exist_ok=True)
-                fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                           suffix=".tmp")
+        payload = (hashlib.sha256(blob).hexdigest().encode("ascii")
+                   + b"\n" + blob)
+        try:
+            for retry in (False, True):
                 try:
-                    with os.fdopen(fd, "wb") as fh:
-                        fh.write(blob)
-                    os.replace(tmp, path)
-                except BaseException:
+                    os.makedirs(os.path.dirname(path), exist_ok=True)
+                    fd, tmp = tempfile.mkstemp(
+                        dir=os.path.dirname(path), suffix=".tmp")
                     try:
-                        os.remove(tmp)
-                    except OSError:
-                        pass
-                    raise
-            except (FileNotFoundError, NotADirectoryError):
-                if retry:
-                    raise
-                continue
-            break
+                        with os.fdopen(fd, "wb") as fh:
+                            fh.write(payload)
+                        os.replace(tmp, path)
+                    except BaseException:
+                        try:
+                            os.remove(tmp)
+                        except OSError:
+                            pass
+                        raise
+                except (FileNotFoundError, NotADirectoryError):
+                    if retry:
+                        raise
+                    continue
+                break
+        except (FileNotFoundError, NotADirectoryError):
+            raise
+        except OSError:
+            # ENOSPC and kin: serving/sweeping beats persisting.
+            self.write_errors += 1
+            return False
         self.stores += 1
+        if self.quota_bytes:
+            self._enforce_quota()
+        return True
+
+    def _enforce_quota(self) -> None:
+        """Evict least-recently-used entries until the total fits.
+
+        Recency is file mtime (loads refresh it); the entry just
+        stored is newest, so it survives unless the quota is smaller
+        than the entry itself — then the cache degrades to
+        pass-through, which is the correct bound-respecting behavior.
+        """
+        stats: list[tuple[float, int, str]] = []
+        total = 0
+        for path in self._entries():
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        if total <= self.quota_bytes:
+            return
+        for _mtime, size, path in sorted(stats):
+            if total <= self.quota_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
 
     # -- maintenance ---------------------------------------------------
     def _entries(self) -> list[str]:
@@ -248,8 +353,7 @@ class ResultCache:
         return sorted(found)
 
     def info(self) -> dict:
-        """``{"root", "entries", "bytes", "corrupt_purged"}`` for
-        ``repro cache info``."""
+        """Summary mapping for ``repro cache info``."""
         paths = self._entries()
         total = 0
         for path in paths:
@@ -258,7 +362,45 @@ class ResultCache:
             except OSError:
                 pass
         return {"root": self.root, "entries": len(paths), "bytes": total,
-                "corrupt_purged": self.corrupt_purged()}
+                "corrupt_purged": self.corrupt_purged(),
+                "quota_bytes": self.quota_bytes,
+                "evictions": self.evictions,
+                "write_errors": self.write_errors}
+
+    def fsck(self) -> dict:
+        """Scrub every entry: verify checksum, schema, and pickle
+        integrity; purge (and count) anything unreadable.
+
+        Returns ``{"root", "scanned", "ok", "purged", "bytes",
+        "quota_bytes", "over_quota"}`` — the ``repro cache fsck``
+        report.  Purged entries land in ``corrupt.log`` like runtime
+        purges, so lifetime corruption accounting stays consistent.
+        """
+        scanned = ok = purged = 0
+        total = 0
+        for path in self._entries():
+            scanned += 1
+            digest = os.path.splitext(os.path.basename(path))[0]
+            try:
+                with open(path, "rb") as fh:
+                    entry = self._decode(fh.read())
+                if entry.get("cache_schema") != CACHE_SCHEMA:
+                    raise ValueError("cache schema mismatch")
+                total += os.path.getsize(path)
+                ok += 1
+            except Exception as exc:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                purged += 1
+                self.corrupt += 1
+                self._log_corrupt(digest, exc)
+        return {"root": self.root, "scanned": scanned, "ok": ok,
+                "purged": purged, "bytes": total,
+                "quota_bytes": self.quota_bytes,
+                "over_quota": bool(self.quota_bytes
+                                   and total > self.quota_bytes)}
 
     def clear(self) -> int:
         """Remove every entry (and reset the corruption tally); returns

@@ -14,23 +14,28 @@ and reports hit rate / queue depth / latency histograms via
 See ``docs/SERVE.md`` for the API and the serving guarantees.
 """
 
-from repro.serve.http import ServeServer, run_server
+from repro.serve.http import ServeConfig, ServeServer, run_server
 from repro.serve.jobspec import JobSpec, SpecError
 from repro.serve.loadtest import fetch_json, fetch_result, run_load
-from repro.serve.service import (AdmissionError, JobRecord, ServiceConfig,
+from repro.serve.service import (AdmissionError, BreakerOpen,
+                                 CircuitBreaker, JobRecord, ServiceConfig,
                                  ServiceMetrics, SimulationService,
-                                 TokenBucket, result_body)
+                                 TokenBucket, degraded_body, result_body)
 
 __all__ = [
     "AdmissionError",
+    "BreakerOpen",
+    "CircuitBreaker",
     "JobRecord",
     "JobSpec",
+    "ServeConfig",
     "ServeServer",
     "ServiceConfig",
     "ServiceMetrics",
     "SimulationService",
     "SpecError",
     "TokenBucket",
+    "degraded_body",
     "fetch_json",
     "fetch_result",
     "result_body",

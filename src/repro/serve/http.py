@@ -3,7 +3,8 @@
 Zero dependencies beyond the stdlib: requests are parsed straight off
 :func:`asyncio.start_server` streams (keep-alive supported — the load
 client reuses connections), responses carry explicit ``Content-Length``
-and a ``X-Cache: hit|coalesced|miss`` header on job submissions.
+and a ``X-Cache: hit|coalesced|miss|degraded`` header on job
+submissions.
 
 Endpoints:
 
@@ -16,36 +17,89 @@ Endpoints:
                            the job is terminal
 ``GET /results/<digest>``  canonical cached result body for a digest
 ``GET /metrics``           :meth:`SimulationService.metrics_snapshot`
+                           plus this listener's connection stats
 ``GET /healthz``           liveness probe
 =========================  ==========================================
 
 Typed errors: malformed specs are 400 with ``{"error":
 "bad-request"}``, admission rejections 429 with the reason
-(``rate-limited`` / ``queue-full``), quarantined jobs 500 with the
-supervision verdict (kind, attempts, child traceback), unknown
-routes/digests 404.
+(``rate-limited`` / ``queue-full``), an open circuit breaker 503 with
+``Retry-After``, quarantined jobs 500 with the supervision verdict
+(kind, attempts, child traceback), unknown routes/digests 404.
+
+Connection lifecycle (:class:`ServeConfig`): every read off a client
+socket sits under a deadline — the request line under the keep-alive
+idle timeout, the header block under one shared header deadline (a
+slowloris trickling one byte per second cannot stretch it), the body
+under its own timeout — and every response write under a write
+timeout, so a stalled peer can never park a connection task forever.
+A connection cap sheds excess load with an immediate 503, and
+:meth:`ServeServer.close` supports *graceful drain*: stop accepting,
+let requests already being processed finish up to a deadline (new
+requests on live keep-alive connections get ``503`` +
+``Connection: close``), then reap whatever remains.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.serve.jobspec import JobSpec, SpecError
-from repro.serve.service import AdmissionError, SimulationService
+from repro.serve.service import (AdmissionError, BreakerOpen,
+                                 SimulationService)
 
 #: Request bodies larger than this are rejected with 413.
 MAX_BODY_BYTES = 1 << 20
-#: Hard cap on header lines per request.
+#: Hard cap on header lines per request (431 past it).
 MAX_HEADERS = 100
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
-            413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            408: "Request Timeout", 413: "Payload Too Large",
+            429: "Too Many Requests",
+            431: "Request Header Fields Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: Typed error slugs for parse-time short-circuits.
+_PARSE_ERRORS = {400: "bad-request", 408: "request-timeout",
+                 413: "payload-too-large", 431: "headers-too-large"}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Connection-lifecycle knobs for :class:`ServeServer`.
+
+    All timeouts are seconds; ``0`` disables that deadline (and
+    ``max_connections=0`` means unbounded).  ``header_timeout`` is one
+    shared budget for the whole header block of a request, not
+    per-line; ``idle_timeout`` bounds how long a keep-alive connection
+    may sit between requests (an expiry reaps the connection silently
+    — there is no request to answer); ``body_timeout`` bounds reading
+    a declared body; ``write_timeout`` bounds every response write
+    (streamed chunks included), aborting the transport on expiry so a
+    non-reading peer cannot wedge a handler on a full socket buffer.
+    """
+
+    header_timeout: float = 10.0
+    body_timeout: float = 20.0
+    idle_timeout: float = 60.0
+    write_timeout: float = 20.0
+    max_connections: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("header_timeout", "body_timeout", "idle_timeout",
+                     "write_timeout"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0 (0 = disabled)")
+        if self.max_connections < 0:
+            raise ValueError("max_connections must be >= 0 "
+                             "(0 = unbounded)")
 
 
 @dataclass
@@ -70,13 +124,27 @@ def _json_bytes(payload: dict) -> bytes:
                        separators=(",", ":")) + "\n").encode()
 
 
-async def _read_request(reader: asyncio.StreamReader,
-                        peer: str) -> Optional[Request]:
-    """Parse one request off the stream; ``None`` on a closed
-    connection."""
+def _with_deadline(coro, timeout: float):
+    """``wait_for`` with the ``0 == disabled`` convention."""
+    return asyncio.wait_for(coro, timeout if timeout > 0 else None)
+
+
+async def _read_request(reader: asyncio.StreamReader, peer: str,
+                        config: ServeConfig) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    ``None`` means there is nothing to answer: the peer closed, or the
+    keep-alive idle timeout expired waiting for a request line (which
+    also covers a slowloris that never finishes its first line — the
+    connection is simply reaped).  Parse-time failures past that point
+    come back as a :class:`Request` with ``error_status`` set, so the
+    caller can answer with a typed response before closing.
+    """
     try:
-        line = await reader.readline()
-    except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+        line = await _with_deadline(reader.readline(),
+                                    config.idle_timeout)
+    except (asyncio.TimeoutError, ConnectionError,
+            asyncio.LimitOverrunError, ValueError):
         return None
     if not line:
         return None
@@ -86,33 +154,72 @@ async def _read_request(reader: asyncio.StreamReader,
         return Request("GET", "/", {}, {}, b"", peer,
                        keep_alive=False, error_status=400,
                        error_detail="malformed request line")
-    headers: dict[str, str] = {}
-    for _ in range(MAX_HEADERS):
-        raw = await reader.readline()
-        if raw in (b"\r\n", b"\n", b""):
-            break
-        name, _sep, value = raw.decode("latin-1").partition(":")
-        headers[name.strip().lower()] = value.strip()
     path, _sep, query_text = target.partition("?")
     query = {}
     for pair in query_text.split("&"):
         if pair:
             key, _sep, value = pair.partition("=")
             query[key] = value
+
+    def parse_error(status: int, detail: str,
+                    headers: Optional[dict] = None) -> Request:
+        return Request(method, path, query, headers or {}, b"", peer,
+                       keep_alive=False, error_status=status,
+                       error_detail=detail)
+
+    # One shared deadline for the whole header block: a client
+    # trickling one header byte per readline cannot reset it.
+    loop = asyncio.get_running_loop()
+    header_deadline = (loop.time() + config.header_timeout
+                       if config.header_timeout > 0 else None)
+    headers: dict[str, str] = {}
+    header_lines = 0
+    while True:
+        if header_deadline is None:
+            budget = 0.0
+        else:
+            budget = max(header_deadline - loop.time(), 1e-3)
+        try:
+            raw = await _with_deadline(reader.readline(), budget)
+        except asyncio.TimeoutError:
+            return parse_error(
+                408, f"headers not completed within "
+                     f"{config.header_timeout:g}s")
+        except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+            return None
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        header_lines += 1
+        if header_lines > MAX_HEADERS:
+            # The rest of the header block is unread; the connection
+            # must close or those bytes would be misparsed as the next
+            # pipelined request.
+            return parse_error(
+                431, f"more than {MAX_HEADERS} header lines")
+        name, _sep, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
     keep_alive = headers.get("connection", "").lower() != "close"
     length_text = headers.get("content-length", "0")
     try:
         length = int(length_text)
     except ValueError:
-        return Request(method, path, query, headers, b"", peer,
-                       keep_alive=False, error_status=400,
-                       error_detail="bad Content-Length")
+        length = -1
+    if length < 0:
+        return parse_error(400, f"bad Content-Length {length_text!r}",
+                           headers)
     if length > MAX_BODY_BYTES:
-        return Request(method, path, query, headers, b"", peer,
-                       keep_alive=False, error_status=413,
-                       error_detail=f"body exceeds {MAX_BODY_BYTES} "
-                                    f"bytes")
-    body = await reader.readexactly(length) if length else b""
+        return parse_error(413, f"body exceeds {MAX_BODY_BYTES} bytes",
+                           headers)
+    if length:
+        try:
+            body = await _with_deadline(reader.readexactly(length),
+                                        config.body_timeout)
+        except asyncio.TimeoutError:
+            return parse_error(
+                408, f"body ({length} bytes declared) not received "
+                     f"within {config.body_timeout:g}s", headers)
+    else:
+        body = b""
     return Request(method, path, query, headers, body, peer,
                    keep_alive=keep_alive)
 
@@ -133,25 +240,54 @@ class ServeServer:
     """The asyncio TCP server wrapping one :class:`SimulationService`."""
 
     def __init__(self, service: SimulationService,
-                 host: str = "127.0.0.1", port: int = 8642) -> None:
+                 host: str = "127.0.0.1", port: int = 8642,
+                 config: Optional[ServeConfig] = None) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.config = config or ServeConfig()
         self.address: Optional[tuple] = None
+        self.draining = False
+        #: Listener-level counters, surfaced under ``/metrics``
+        #: ``"server"``.
+        self.stats = {"rejected_connections": 0, "request_timeouts": 0,
+                      "write_timeouts": 0, "drained_requests": 0}
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set[asyncio.Task] = set()
+        self._busy: set[asyncio.Task] = set()
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.address = self._server.sockets[0].getsockname()[:2]
 
-    async def close(self) -> None:
+    async def close(self, drain: float = 0.0) -> None:
+        """Stop accepting and tear the listener down.
+
+        With ``drain > 0`` this is *graceful*: connections currently
+        processing a request get up to ``drain`` seconds to finish
+        (new requests they pipeline in the meantime are answered
+        ``503`` + ``Connection: close``), idle keep-alive connections
+        are reaped immediately, and whatever is still alive at the
+        deadline is cancelled.  ``drain=0`` cancels everything at
+        once (the pre-existing behaviour, and what tests use).
+        """
+        self.draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        # Idle keep-alive connections sit in readline(); reap them.
+        if drain > 0:
+            # Idle keep-alive connections sit in readline() waiting
+            # for a request that would only be answered 503 now; reap
+            # them immediately rather than holding the drain window.
+            for task in list(self._connections):
+                if task not in self._busy:
+                    task.cancel()
+            busy = {task for task in self._connections
+                    if task in self._busy}
+            if busy:
+                await asyncio.wait(busy, timeout=drain)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -159,6 +295,22 @@ class ServeServer:
                                  return_exceptions=True)
 
     # -- connection loop ----------------------------------------------
+    async def _drain_writer(self, writer: asyncio.StreamWriter) -> None:
+        """``writer.drain()`` under the write deadline.
+
+        A peer that stops reading fills the socket buffer and parks
+        ``drain()`` forever; on expiry the transport is aborted and
+        the connection loop unwound via :class:`ConnectionError`."""
+        try:
+            await _with_deadline(writer.drain(),
+                                 self.config.write_timeout)
+        except asyncio.TimeoutError:
+            self.stats["write_timeouts"] += 1
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            raise ConnectionError("response write timed out") from None
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         peername = writer.get_extra_info("peername")
@@ -168,25 +320,58 @@ class ServeServer:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
         try:
+            cap = self.config.max_connections
+            if cap and len(self._connections) > cap:
+                self.stats["rejected_connections"] += 1
+                _write_response(
+                    writer, 503,
+                    _json_bytes({"error": "overloaded",
+                                 "detail": f"connection cap {cap} "
+                                           f"reached"}),
+                    keep_alive=False,
+                    extra_headers=(("Retry-After", "1"),))
+                await self._drain_writer(writer)
+                return
             while True:
                 try:
-                    request = await _read_request(reader, peer)
+                    request = await _read_request(reader, peer,
+                                                  self.config)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
                 if request is None:
                     break
                 self.service.metrics.http_requests += 1
-                if request.error_status is not None:
+                if self.draining:
+                    self.stats["drained_requests"] += 1
                     _write_response(
-                        writer, request.error_status,
-                        _json_bytes({"error": "bad-request",
+                        writer, 503,
+                        _json_bytes({"error": "draining",
+                                     "detail": "server is shutting "
+                                               "down"}),
+                        keep_alive=False)
+                    await self._drain_writer(writer)
+                    break
+                if request.error_status is not None:
+                    status = request.error_status
+                    if status == 408:
+                        self.stats["request_timeouts"] += 1
+                    _write_response(
+                        writer, status,
+                        _json_bytes({"error": _PARSE_ERRORS.get(
+                                         status, "bad-request"),
                                      "detail": request.error_detail}),
                         keep_alive=False)
-                    await writer.drain()
+                    await self._drain_writer(writer)
                     break
-                streamed = await self._dispatch(request, writer)
-                if not streamed:
-                    await writer.drain()
+                if task is not None:
+                    self._busy.add(task)
+                try:
+                    streamed = await self._dispatch(request, writer)
+                    if not streamed:
+                        await self._drain_writer(writer)
+                finally:
+                    if task is not None:
+                        self._busy.discard(task)
                 if streamed or not request.keep_alive:
                     break
         except (ConnectionError, asyncio.CancelledError):
@@ -212,8 +397,12 @@ class ServeServer:
             self._get_result(request, writer)
             return False
         if path == "/metrics" and method == "GET":
-            _write_response(writer, 200,
-                            _json_bytes(self.service.metrics_snapshot()),
+            payload = self.service.metrics_snapshot()
+            payload["server"] = dict(
+                self.stats, connections=len(self._connections),
+                draining=self.draining,
+                max_connections=self.config.max_connections)
+            _write_response(writer, 200, _json_bytes(payload),
                             request.keep_alive)
             return False
         if path == "/healthz" and method == "GET":
@@ -261,12 +450,23 @@ class ServeServer:
             return
         wait = payload.get("wait", True)
         try:
-            record = await self.service.submit(spec.to_job(), client)
+            record = await self.service.submit(
+                spec.to_job(), client, degraded_fn=spec.analytical_rows)
         except AdmissionError as exc:
             _write_response(writer, 429,
                             _json_bytes({"error": exc.reason,
                                          "detail": exc.detail}),
                             request.keep_alive)
+            return
+        except BreakerOpen as exc:
+            retry_after = max(1, math.ceil(exc.retry_after))
+            _write_response(
+                writer, 503,
+                _json_bytes({"error": "breaker-open",
+                             "detail": exc.detail,
+                             "retry_after_s": retry_after}),
+                request.keep_alive,
+                extra_headers=(("Retry-After", str(retry_after)),))
             return
         if not wait:
             _write_response(
@@ -312,16 +512,26 @@ class ServeServer:
 
     async def _stream_job(self, record,
                           writer: asyncio.StreamWriter) -> None:
-        """Newline-delimited JSON status updates until terminal."""
+        """Newline-delimited JSON status updates until terminal.
+
+        A drain that starts mid-stream terminates it early with a
+        final ``{"error": "draining"}`` line — the client sees a
+        well-formed ndjson tail and EOF, never a hung socket."""
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: application/x-ndjson\r\n"
                      b"Connection: close\r\n\r\n")
         last = None
         while True:
+            if self.draining:
+                writer.write(_json_bytes({"error": "draining",
+                                          "id": record.id,
+                                          "status": record.status}))
+                await self._drain_writer(writer)
+                return
             status = record.status
             if status != last:
                 writer.write(_json_bytes(record.snapshot()))
-                await writer.drain()
+                await self._drain_writer(writer)
                 last = status
             if status in ("done", "failed"):
                 return
@@ -349,20 +559,35 @@ class ServeServer:
 
 
 async def run_server(service: SimulationService, host: str, port: int,
-                     ready=None) -> None:
-    """Start the service + server and run until cancelled.
+                     ready=None, config: Optional[ServeConfig] = None,
+                     drain: float = 10.0) -> None:
+    """Start the service + server and run until stopped.
 
     ``ready`` (optional callable) receives the bound ``(host, port)``
     once listening — used by the CLI to print the address and by tests
-    to learn an ephemeral port.
+    to learn an ephemeral port.  SIGTERM/SIGINT trigger a graceful
+    drain of up to ``drain`` seconds (where the platform supports
+    loop signal handlers; elsewhere cancellation still tears down
+    cleanly through the ``finally``).
     """
     await service.start()
-    server = ServeServer(service, host, port)
+    server = ServeServer(service, host, port, config=config)
     await server.start()
     if ready is not None:
         ready(server.address)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue
+        installed.append(sig)
     try:
-        await asyncio.Event().wait()       # run forever
+        await stop.wait()
     finally:
-        await server.close()
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await server.close(drain=drain)
         await service.close()

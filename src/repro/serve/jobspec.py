@@ -180,6 +180,19 @@ class JobSpec:
                         "home": self.home},
                    label=f"serve:sweep:{self.scheme}")
 
+    def analytical_rows(self) -> list:
+        """Closed-form surrogate rows for this spec (degraded mode).
+
+        Runs the contention-free analytical model over the same sweep
+        shape; used by the service while the worker-pool circuit
+        breaker is open.  ``home`` is ignored — the model has no home
+        placement — which is fine for a response explicitly marked as
+        an approximation.
+        """
+        return _analytical_scheme_job(self.scheme, self.degrees,
+                                      self.per_degree, self.params,
+                                      self.kind, self.seed)
+
     @property
     def digest(self) -> str:
         """The content-addressed cache digest of this spec's job."""

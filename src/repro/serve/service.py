@@ -63,6 +63,92 @@ class AdmissionError(RuntimeError):
         self.detail = detail
 
 
+class BreakerOpen(RuntimeError):
+    """The worker-pool circuit breaker is open: new misses fast-fail.
+
+    ``retry_after`` is the seconds until the breaker's next half-open
+    probe window; the HTTP layer maps this to ``503`` with a
+    ``Retry-After`` header so clients shed load instead of timing out
+    against a known-bad pool.
+    """
+
+    def __init__(self, retry_after: float, detail: str) -> None:
+        super().__init__(detail)
+        self.retry_after = retry_after
+        self.detail = detail
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker around the worker pool.
+
+    States: ``closed`` (normal), ``open`` (fast-fail for ``cooldown``
+    seconds after ``threshold`` consecutive failures), and
+    ``half-open`` (cooldown elapsed; exactly one probe miss is admitted
+    — its success closes the breaker, its failure re-opens it).
+    Failure events are quarantined jobs (:class:`JobFailed`) and pool
+    reclaims (watchdog expiry / broken pool); any successful job
+    resets the consecutive count.  ``threshold=0`` disables the
+    breaker entirely (always closed).
+    """
+
+    def __init__(self, threshold: int, cooldown: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.failures = 0          # consecutive failure events
+        self.trips = 0             # lifetime open transitions
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half-open"
+        if self.clock() - self._opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a new miss enter the pool right now?
+
+        In ``half-open``, admits exactly one probe; concurrent misses
+        keep fast-failing until the probe resolves.
+        """
+        if self.threshold <= 0 or self._opened_at is None:
+            return True
+        if self._probing:
+            return False
+        if self.clock() - self._opened_at >= self.cooldown:
+            self._probing = True
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe window (0 when the
+        breaker is not open)."""
+        if self._opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self.clock() - self._opened_at))
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        if self.threshold <= 0:
+            return
+        self.failures += 1
+        if self._probing or self.failures >= self.threshold:
+            if self._opened_at is None or self._probing:
+                self.trips += 1
+            self._opened_at = self.clock()
+            self._probing = False
+
+
 def _swallow_future(future) -> None:
     """Retrieve an abandoned future's exception so asyncio never logs
     an "exception was never retrieved" warning for it."""
@@ -79,6 +165,21 @@ def result_body(digest: str, result: Any) -> bytes:
     ``run_jobs`` cross-check are all *byte-identical*.
     """
     text = json.dumps({"digest": digest, "result": result},
+                      sort_keys=True, separators=(",", ":"),
+                      default=_json_default)
+    return (text + "\n").encode()
+
+
+def degraded_body(digest: str, result: Any) -> bytes:
+    """Response body for an analytical degraded-mode answer.
+
+    Same canonical serialization as :func:`result_body` plus an
+    explicit ``"degraded": true`` marker: clients can always tell an
+    approximation from a simulation, and the bytes can never collide
+    with the cached real result for the same digest.
+    """
+    text = json.dumps({"degraded": True, "digest": digest,
+                       "result": result},
                       sort_keys=True, separators=(",", ":"),
                       default=_json_default)
     return (text + "\n").encode()
@@ -123,6 +224,16 @@ class ServiceConfig:
     clients (running jobs do not count).  ``policy`` mirrors the
     ``job_timeout``/``job_max_retries``/``job_backoff`` supervision
     family of ``run_jobs``.
+
+    ``breaker_threshold`` consecutive failure events (quarantined jobs,
+    pool reclaims) trip a :class:`CircuitBreaker` open for
+    ``breaker_cooldown`` seconds (``0`` disables the breaker); while
+    open, new misses fast-fail with :class:`BreakerOpen` → HTTP 503 +
+    ``Retry-After``.  With ``degraded=True`` the service instead
+    answers sweep specs from the contention-free analytical model
+    (:mod:`repro.analysis.analytical`) while the breaker is open —
+    marked ``"degraded": true``, never cached — so it sheds simulation
+    load without going dark.
     """
 
     workers: int = 0
@@ -131,6 +242,9 @@ class ServiceConfig:
     rate: float = 0.0
     burst: int = 16
     policy: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_threshold: int = 0
+    breaker_cooldown: float = 30.0
+    degraded: bool = False
     clock: Callable[[], float] = time.monotonic
 
     def __post_init__(self) -> None:
@@ -144,6 +258,11 @@ class ServiceConfig:
             raise ValueError("rate must be >= 0 (0 = unlimited)")
         if self.burst < 1:
             raise ValueError("burst must be >= 1")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0 "
+                             "(0 = disabled)")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be > 0")
 
 
 class ServiceMetrics:
@@ -168,7 +287,9 @@ class ServiceMetrics:
         self.completed = 0
         self.failed = 0
         self.retries = 0
-        self.rejected = {"rate-limited": 0, "queue-full": 0}
+        self.degraded = 0
+        self.rejected = {"rate-limited": 0, "queue-full": 0,
+                         "breaker-open": 0}
         self.latency = {
             "hit": Histogram("hit_latency_ms", 0.0, 500.0, 500),
             "miss": Histogram("miss_latency_ms", 0.0, 60_000.0, 600),
@@ -177,10 +298,11 @@ class ServiceMetrics:
 
     def observe(self, source: str, seconds: float) -> None:
         """Record one served request's latency (``source`` is ``hit``,
-        ``miss``, or ``coalesced`` — coalesced waiters paid miss-class
-        latency)."""
+        ``miss``, ``coalesced``, or ``degraded`` — coalesced waiters
+        paid miss-class latency; degraded answers are hit-class, the
+        analytical model runs in microseconds)."""
         ms = seconds * 1000.0
-        bucket = "hit" if source == "hit" else "miss"
+        bucket = "hit" if source in ("hit", "degraded") else "miss"
         self.latency[bucket].add(ms)
         self.latency["all"].add(ms)
 
@@ -192,12 +314,12 @@ class ServiceMetrics:
                 "p99_ms": hist.percentile(0.99),
                 "max_ms": hist.tally.max or 0.0}
 
-    def snapshot(self, cache: ResultCache, queued: int,
-                 running: int) -> dict:
+    def snapshot(self, cache: ResultCache, queued: int, running: int,
+                 breaker: Optional[CircuitBreaker] = None) -> dict:
         """The ``/metrics`` payload."""
         uptime = max(self.clock() - self.started, 1e-9)
         lookups = self.hits + self.misses + self.coalesced
-        return {
+        payload = {
             "uptime_s": uptime,
             "http_requests": self.http_requests,
             "requests_per_sec": self.http_requests / uptime,
@@ -209,6 +331,7 @@ class ServiceMetrics:
             "completed": self.completed,
             "failed": self.failed,
             "retries": self.retries,
+            "degraded": self.degraded,
             "rejected": dict(self.rejected),
             "queue_depth": queued,
             "running": running,
@@ -216,8 +339,16 @@ class ServiceMetrics:
                         for name in ("hit", "miss", "all")},
             "cache": {"root": cache.root, "hits": cache.hits,
                       "misses": cache.misses, "stores": cache.stores,
-                      "corrupt": cache.corrupt},
+                      "corrupt": cache.corrupt,
+                      "quota_bytes": cache.quota_bytes,
+                      "evictions": cache.evictions,
+                      "write_errors": cache.write_errors},
         }
+        if breaker is not None:
+            payload["breaker"] = {"state": breaker.state,
+                                  "failures": breaker.failures,
+                                  "trips": breaker.trips}
+        return payload
 
 
 class _Flight:
@@ -255,7 +386,7 @@ class JobRecord:
 
     id: str
     client: str
-    source: str          # "hit" | "miss" | "coalesced"
+    source: str          # "hit" | "miss" | "coalesced" | "degraded"
     flight: _Flight
 
     @property
@@ -271,7 +402,11 @@ class JobRecord:
         view = {"id": self.id, "digest": self.digest,
                 "status": self.status, "source": self.source,
                 "client": self.client}
-        if self.status == "done":
+        if self.source == "degraded":
+            # Analytical approximation: never cached, so there is no
+            # /results/<digest> to point at.
+            view["degraded"] = True
+        elif self.status == "done":
             view["result_url"] = f"/results/{self.digest}"
         if self.status == "failed":
             view["error"] = self.flight.error
@@ -301,6 +436,9 @@ class SimulationService:
         self.cache = cache if cache is not None else default_cache()
         self.config = config or ServiceConfig()
         self.metrics = ServiceMetrics(self.config.clock)
+        self.breaker = CircuitBreaker(self.config.breaker_threshold,
+                                      self.config.breaker_cooldown,
+                                      self.config.clock)
         self.workers = self.config.workers or (os.cpu_count() or 1)
         self._flights: dict[str, _Flight] = {}
         self._client_queues: dict[str, list[_Flight]] = {}
@@ -371,6 +509,7 @@ class SimulationService:
         if generation != self._pool_generation:
             return
         self._pool_generation += 1
+        self.breaker.record_failure()
         if isinstance(self._pool, ProcessPoolExecutor):
             _terminate_pool(self._pool)
             self._pool = self._make_pool()
@@ -393,7 +532,9 @@ class SimulationService:
             self._records.pop(next(iter(self._records)))
         return record
 
-    async def submit(self, job: Job, client: str) -> JobRecord:
+    async def submit(self, job: Job, client: str,
+                     degraded_fn: Optional[Callable[[], Any]] = None,
+                     ) -> JobRecord:
         """Admit one request; returns its :class:`JobRecord`.
 
         Fast paths resolve immediately (``source`` tells which): a
@@ -403,6 +544,14 @@ class SimulationService:
         queue.  Raises :class:`AdmissionError` when the client's token
         bucket is empty or the pending queue is full, and
         :class:`ValueError` for uncacheable jobs (no key).
+
+        When the circuit breaker is open, a miss either raises
+        :class:`BreakerOpen` or — with ``config.degraded=True`` and a
+        ``degraded_fn`` surrogate — resolves immediately from the
+        analytical model (``source == "degraded"``, body marked
+        ``"degraded": true``, never cached).  Hits and coalesced
+        waiters are unaffected: the cache and in-flight table stay
+        healthy even when the pool is not.
         """
         if job.key is None:
             raise ValueError("served jobs must carry a cache key")
@@ -426,6 +575,21 @@ class SimulationService:
             flight = _Flight(digest, job, client)
             flight.finish(result_body(digest, cached))
             return self._record(client, "hit", flight)
+
+        if not self.breaker.allow():
+            if self.config.degraded and degraded_fn is not None:
+                loop = asyncio.get_running_loop()
+                rows = await loop.run_in_executor(None, degraded_fn)
+                self.metrics.degraded += 1
+                flight = _Flight(digest, job, client)
+                flight.finish(degraded_body(digest, rows))
+                return self._record(client, "degraded", flight)
+            self.metrics.rejected["breaker-open"] += 1
+            raise BreakerOpen(
+                self.breaker.retry_after(),
+                f"worker pool unhealthy ({self.breaker.failures} "
+                f"consecutive failures); simulation misses are "
+                f"fast-failing until the next probe")
 
         if self._queued >= self.config.queue_depth:
             self.metrics.rejected["queue-full"] += 1
@@ -468,7 +632,7 @@ class SimulationService:
 
     def metrics_snapshot(self) -> dict:
         return self.metrics.snapshot(self.cache, self._queued,
-                                     self._running)
+                                     self._running, self.breaker)
 
     # -- fair queue ----------------------------------------------------
     def _enqueue(self, client: str, flight: _Flight) -> None:
@@ -526,6 +690,7 @@ class SimulationService:
         except JobFailed as exc:
             failure = exc.failures[0]
             self.metrics.failed += 1
+            self.breaker.record_failure()
             flight.fail({"error": "job-failed", "kind": failure.kind,
                          "label": failure.label,
                          "attempts": failure.attempts,
@@ -540,6 +705,7 @@ class SimulationService:
                          "label": flight.job.label,
                          "detail": f"{type(exc).__name__}: {exc}"})
         else:
+            self.breaker.record_success()
             try:
                 self.cache.store(flight.digest, flight.job.key, result)
             except OSError:

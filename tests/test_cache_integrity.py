@@ -1,0 +1,194 @@
+"""Self-healing cache integrity: checksums, quota/LRU, ENOSPC, fsck.
+
+The result cache (``repro.runner.cache``) persists every entry as a
+sha256 checksum line plus a pickle blob.  These tests cover the
+resilience contract: a corrupted entry is *never* deserialized into a
+wrong result (it is purged and counted, and the caller sees a MISS),
+a byte quota evicts least-recently-used entries, a full disk degrades
+the cache to pass-through instead of failing the sweep, and ``fsck``
+scrubs offline what ``load`` heals online.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.runner import MISS, ResultCache
+
+
+def _entry(i: int):
+    key = {"fn": "integrity-test", "i": i}
+    return key, {"rows": [i] * 32}
+
+
+def _store(cache: ResultCache, i: int) -> str:
+    key, value = _entry(i)
+    digest = cache.digest(key)
+    assert cache.store(digest, key, value)
+    return digest
+
+
+# -- checksums -------------------------------------------------------------
+
+def test_bit_flip_is_purged_and_misses_never_wrong(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key, value = _entry(0)
+    digest = _store(cache, 0)
+    assert cache.load(digest, key) == value
+
+    path = cache._path(digest)
+    with open(path, "r+b") as fh:
+        fh.seek(80)                 # into the pickle blob
+        fh.write(b"\xde\xad\xbe\xef")
+
+    # Never a wrong result: the damaged entry reads as a MISS, is
+    # removed from disk, and the corruption is counted.
+    assert cache.load(digest, key) is MISS
+    assert cache.corrupt == 1
+    assert not os.path.exists(path)
+
+    # The slot self-heals: a re-store serves hits again.
+    assert cache.store(digest, key, value)
+    assert cache.load(digest, key) == value
+
+
+def test_truncated_and_garbage_entries_are_misses(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key, _value = _entry(1)
+    digest = _store(cache, 1)
+    path = cache._path(digest)
+
+    with open(path, "r+b") as fh:   # drop the blob mid-checksum-line
+        fh.truncate(10)
+    assert cache.load(digest, key) is MISS
+    assert not os.path.exists(path)
+
+    _store(cache, 1)
+    with open(path, "wb") as fh:    # no checksum line at all
+        fh.write(b"not a cache entry")
+    assert cache.load(digest, key) is MISS
+    assert cache.corrupt == 2
+
+
+# -- quota / LRU -----------------------------------------------------------
+
+def _entry_size(tmp_path) -> int:
+    probe = ResultCache(str(tmp_path / "probe"))
+    digest = _store(probe, 0)
+    return os.path.getsize(probe._path(digest))
+
+
+def test_quota_evicts_oldest_entry_first(tmp_path):
+    size = _entry_size(tmp_path)
+    cache = ResultCache(str(tmp_path / "c"),
+                        quota_bytes=int(size * 2.5))
+    d0, d1 = _store(cache, 0), _store(cache, 1)
+    os.utime(cache._path(d0), (100, 100))     # d0 is clearly oldest
+    d2 = _store(cache, 2)                     # over quota -> evict d0
+
+    assert cache.evictions == 1
+    assert cache.load(d0, _entry(0)[0]) is MISS
+    assert cache.load(d1, _entry(1)[0]) == _entry(1)[1]
+    assert cache.load(d2, _entry(2)[0]) == _entry(2)[1]
+    assert cache.corrupt == 0                 # eviction is not damage
+
+
+def test_load_refreshes_recency_so_hot_entries_survive(tmp_path):
+    size = _entry_size(tmp_path)
+    cache = ResultCache(str(tmp_path / "c"),
+                        quota_bytes=int(size * 2.5))
+    d0, d1 = _store(cache, 0), _store(cache, 1)
+    os.utime(cache._path(d0), (100, 100))
+    os.utime(cache._path(d1), (200, 200))
+    # A hit on the nominally-older entry bumps its mtime to "now"...
+    assert cache.load(d0, _entry(0)[0]) == _entry(0)[1]
+    # ...so the next over-quota store evicts the cold d1 instead.
+    d2 = _store(cache, 2)
+    assert cache.load(d0, _entry(0)[0]) == _entry(0)[1]
+    assert cache.load(d1, _entry(1)[0]) is MISS
+    assert cache.load(d2, _entry(2)[0]) == _entry(2)[1]
+
+
+def test_quota_validation_and_env_default(tmp_path, monkeypatch):
+    with pytest.raises(ValueError):
+        ResultCache(str(tmp_path), quota_bytes=-1)
+    monkeypatch.setenv("REPRO_CACHE_QUOTA", "4096")
+    assert ResultCache(str(tmp_path)).quota_bytes == 4096
+    # An explicit argument wins over the environment.
+    assert ResultCache(str(tmp_path), quota_bytes=0).quota_bytes == 0
+
+
+# -- full disk -------------------------------------------------------------
+
+def test_enospc_degrades_to_pass_through(tmp_path, monkeypatch):
+    cache = ResultCache(str(tmp_path))
+    key, value = _entry(3)
+    digest = cache.digest(key)
+
+    def _no_space(*args, **kwargs):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr("repro.runner.cache.tempfile.mkstemp",
+                        _no_space)
+    # The sweep's result beats persisting it: no exception, the write
+    # is dropped and counted, and the caller sees an honest MISS.
+    assert cache.store(digest, key, value) is False
+    assert cache.write_errors == 1
+    assert cache.stores == 0
+    assert cache.load(digest, key) is MISS
+
+    monkeypatch.undo()
+    assert cache.store(digest, key, value)    # disk back -> writes back
+    assert cache.load(digest, key) == value
+
+
+# -- fsck ------------------------------------------------------------------
+
+def test_fsck_scrubs_corruption_and_reports(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    digests = [_store(cache, i) for i in range(3)]
+    with open(cache._path(digests[0]), "r+b") as fh:
+        fh.seek(80)
+        fh.write(b"\xff\xff")
+    with open(cache._path(digests[1]), "r+b") as fh:
+        fh.truncate(10)
+
+    report = cache.fsck()
+    assert report["scanned"] == 3
+    assert report["ok"] == 1
+    assert report["purged"] == 2
+    assert report["over_quota"] is False
+    assert cache.corrupt == 2
+
+    # The scrub is idempotent and leaves only verifiable entries.
+    clean = cache.fsck()
+    assert (clean["scanned"], clean["purged"]) == (1, 0)
+    assert cache.load(digests[2], _entry(2)[0]) == _entry(2)[1]
+
+
+def test_fsck_flags_over_quota(tmp_path):
+    size = _entry_size(tmp_path)
+    cache = ResultCache(str(tmp_path / "c"), quota_bytes=size * 10)
+    for i in range(2):
+        _store(cache, i)
+    assert cache.fsck()["over_quota"] is False
+    # Shrink the quota under the resident bytes: fsck flags it (it
+    # scrubs, it does not evict — that is store()'s job).
+    cache.quota_bytes = 1
+    report = cache.fsck()
+    assert report["over_quota"] is True
+    assert report["purged"] == 0
+
+
+def test_info_reports_quota_and_resilience_counters(tmp_path):
+    size = _entry_size(tmp_path)
+    cache = ResultCache(str(tmp_path / "c"),
+                        quota_bytes=int(size * 1.5))
+    _store(cache, 0)
+    _store(cache, 1)                          # evicts entry 0
+    info = cache.info()
+    assert info["entries"] == 1
+    assert info["quota_bytes"] == int(size * 1.5)
+    assert info["evictions"] == 1
+    assert info["write_errors"] == 0

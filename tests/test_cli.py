@@ -122,6 +122,27 @@ def test_cache_info_reports_corruption_and_journals(capsys, tmp_path):
     assert "0 interrupted sweep(s)" in out
 
 
+def test_cache_fsck_scrubs_and_sets_exit_code(capsys, tmp_path):
+    import repro.runner as runner
+
+    cache = runner.ResultCache(str(tmp_path))
+    for i in range(2):
+        cache.store(cache.digest({"k": i}), {"k": i}, f"v{i}")
+    with open(cache._path(cache.digest({"k": 0})), "r+b") as fh:
+        fh.seek(10)
+        fh.write(b"\xde\xad")
+    # Exit 1 signals "something was purged" (scriptable scrub).
+    code, out = run_cli(capsys, "cache", "fsck", "--dir", str(tmp_path))
+    assert code == 1
+    assert "scanned:    2" in out
+    assert "ok:         1" in out
+    assert "purged:     1" in out
+    # A clean tree fscks to exit 0 — and the purge stuck.
+    code, out = run_cli(capsys, "cache", "fsck", "--dir", str(tmp_path))
+    assert code == 0
+    assert "scanned:    1" in out and "purged:     0" in out
+
+
 def test_sweep_accepts_resume_flag(capsys):
     argv = ["--schemes", "ui-ua", "--degrees", "2", "--per-degree", "2",
             "--mesh", "4"]
@@ -247,10 +268,26 @@ def test_serve_parser_defaults():
     assert args.workers == 0 and args.queue_depth == 256
     assert args.rate == 0.0 and args.burst == 16
     assert args.job_timeout == 300.0 and args.job_retries == 2
+    # Resilience knobs (breaker off, degraded off, sane deadlines).
+    assert args.breaker_threshold == 0
+    assert args.breaker_cooldown == 30.0
+    assert args.degraded is False
+    assert args.cache_quota_mib == 0.0
+    assert (args.header_timeout, args.body_timeout) == (10.0, 20.0)
+    assert (args.idle_timeout, args.write_timeout) == (60.0, 20.0)
+    assert args.max_connections == 256 and args.drain == 10.0
 
 
-def test_serve_rejects_bad_config(capsys):
-    code = main(["serve", "--queue-depth", "0"])
+@pytest.mark.parametrize("flags", [
+    ["--queue-depth", "0"],
+    ["--breaker-threshold", "-1"],
+    ["--breaker-cooldown", "0"],
+    ["--header-timeout", "-1"],
+    ["--max-connections", "-1"],
+    ["--drain", "-1"],
+])
+def test_serve_rejects_bad_config(capsys, flags):
+    code = main(["serve", *flags])
     assert code == 2
 
 

@@ -9,6 +9,7 @@ responses, and the aggregate ``run_load`` fleet.
 """
 
 import asyncio
+import inspect
 import json
 import tempfile
 
@@ -16,8 +17,9 @@ import pytest
 
 from repro.runner import ResultCache
 from repro.runner.supervisor import RetryPolicy
-from repro.serve import (JobSpec, ServeServer, ServiceConfig,
+from repro.serve import (JobSpec, ServeConfig, ServeServer, ServiceConfig,
                          SimulationService, run_load)
+from repro.serve.http import MAX_HEADERS
 from repro.serve.loadtest import (fetch_json, fetch_result, http_request,
                                   open_http, post_job)
 
@@ -26,8 +28,13 @@ SPEC = {"scheme": "ui-ua", "mesh": 2, "degrees": [2], "per_degree": 1,
         "seed": 0}
 
 
-def serve_run(test_coro, **overrides):
-    """Boot service + server, run the test body, tear down."""
+def serve_run(test_coro, serve_config=None, debug=False, **overrides):
+    """Boot service + server, run the test body, tear down.
+
+    The body coroutine may take ``(host, port, service)`` or
+    ``(host, port, service, server)`` — the listener is passed when a
+    test wants to poke connection accounting directly.
+    """
     config = dict(workers=2, executor="thread",
                   policy=RetryPolicy(timeout=0, max_retries=0,
                                      retry_delay=0.001))
@@ -39,15 +46,18 @@ def serve_run(test_coro, **overrides):
             service = SimulationService(cache=ResultCache(root),
                                         config=ServiceConfig(**config))
             await service.start()
-            server = ServeServer(service, "127.0.0.1", 0)
+            server = ServeServer(service, "127.0.0.1", 0,
+                                 config=serve_config)
             await server.start()
             host, port = server.address
             try:
-                return await test_coro(host, port, service)
+                arity = len(inspect.signature(test_coro).parameters)
+                args = (host, port, service, server)[:arity]
+                return await test_coro(*args)
             finally:
                 await server.close()
                 await service.close()
-    return asyncio.run(main())
+    return asyncio.run(main(), debug=debug)
 
 
 async def _close(writer):
@@ -249,11 +259,11 @@ def test_failed_job_is_500_with_supervision_verdict():
         def _boom():
             raise RuntimeError("worker exploded")
 
-        async def failing_submit(job, client,
-                                 _original=service.submit):
+        async def failing_submit(job, client, _original=service.submit,
+                                 **kwargs):
             return await _original(
                 Job(fn=_boom, args=(), key=job.key, label=job.label),
-                client)
+                client, **kwargs)
 
         service.submit = failing_submit
         reader, writer = await open_http(host, port)
@@ -323,3 +333,190 @@ def test_run_load_fleet_end_to_end():
         assert stats["p99_ms"] >= stats["p50_ms"] >= 0.0
         return stats
     serve_run(body)
+
+
+# -- connection lifecycle ---------------------------------------------------
+
+async def _raw_response(reader):
+    """Read one HTTP response straight off the stream."""
+    head = await reader.readline()
+    parts = head.split()
+    status = int(parts[1]) if len(parts) > 1 else 0
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, body
+
+
+def test_negative_content_length_is_400_and_closes():
+    # Regression: ``Content-Length: -17`` used to reach
+    # ``readexactly(-17)``, whose ValueError killed the connection
+    # task with no response at all.
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            writer.write(b"POST /jobs HTTP/1.1\r\n"
+                         b"Content-Length: -17\r\n\r\n")
+            await writer.drain()
+            status, headers, resp = await _raw_response(reader)
+            assert status == 400
+            payload = json.loads(resp)
+            assert payload["error"] == "bad-request"
+            assert "Content-Length" in payload["detail"]
+            assert "-17" in payload["detail"]
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
+def test_header_flood_is_431_and_closes():
+    # Regression: past MAX_HEADERS the parser used to stop reading
+    # header lines, so the flood's unread tail was misparsed as the
+    # next pipelined request.  Now: 431, connection closed, tail
+    # never interpreted.
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            flood = "".join(f"X-Flood-{i}: 1\r\n"
+                            for i in range(MAX_HEADERS + 5))
+            writer.write((f"GET /healthz HTTP/1.1\r\n{flood}\r\n"
+                          f"GET /metrics HTTP/1.1\r\n\r\n").encode())
+            await writer.drain()
+            status, headers, resp = await _raw_response(reader)
+            assert status == 431
+            assert json.loads(resp)["error"] == "headers-too-large"
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""   # pipelined GET ignored
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
+def test_stalled_header_block_is_408():
+    async def body(host, port, service, server):
+        reader, writer = await open_http(host, port)
+        try:
+            writer.write(b"GET /healthz HTTP/1.1\r\nX-Slow: ")
+            await writer.drain()
+            status, headers, resp = await _raw_response(reader)
+            assert status == 408
+            assert json.loads(resp)["error"] == "request-timeout"
+            assert headers["connection"] == "close"
+            assert server.stats["request_timeouts"] == 1
+            assert await reader.read() == b""
+        finally:
+            await _close(writer)
+    serve_run(body, serve_config=ServeConfig(header_timeout=0.2))
+
+
+async def _settle(predicate, deadline: float = 5.0) -> bool:
+    """Poll ``predicate()`` until true (or the deadline passes)."""
+    loop = asyncio.get_running_loop()
+    end = loop.time() + deadline
+    while loop.time() < end:
+        if predicate():
+            return True
+        await asyncio.sleep(0.01)
+    return predicate()
+
+
+def test_keep_alive_connection_accounting():
+    async def body(host, port, service, server):
+        reader, writer = await open_http(host, port)
+        try:
+            for i in range(5):
+                status, _headers, _resp = await post_job(
+                    reader, writer, SPEC, f"client-{i}")
+                assert status == 200
+                # Five sequential requests ride ONE connection task.
+                assert len(server._connections) == 1
+        finally:
+            await _close(writer)
+        assert await _settle(lambda: not server._connections)
+        assert not server._busy
+    serve_run(body)
+
+
+def test_idle_keep_alive_connection_is_reaped():
+    async def body(host, port, service, server):
+        reader, writer = await open_http(host, port)
+        status, _headers, _resp = await post_job(reader, writer, SPEC,
+                                                 "alice")
+        assert status == 200
+        # Go idle: the server must close the connection itself
+        # (silently — there is no request to answer with a 408).
+        assert await asyncio.wait_for(reader.read(), 5.0) == b""
+        assert await _settle(lambda: not server._connections)
+        await _close(writer)
+    serve_run(body, serve_config=ServeConfig(idle_timeout=0.2))
+
+
+def test_close_reaps_connections_and_leaks_no_tasks():
+    async def body(host, port, service, server):
+        conns = [await open_http(host, port) for _ in range(3)]
+        status, _headers, _resp = await post_job(
+            conns[0][0], conns[0][1], SPEC, "alice")
+        assert status == 200
+        assert await _settle(lambda: len(server._connections) == 3)
+        await server.close()
+        assert not server._connections
+        assert not server._busy
+        for reader, writer in conns:
+            assert await reader.read() == b""
+            await _close(writer)
+        await service.close()
+        leaked = [t for t in asyncio.all_tasks()
+                  if t is not asyncio.current_task() and not t.done()]
+        assert not leaked, leaked
+    serve_run(body, debug=True)
+
+
+def test_breaker_open_is_503_then_degraded_mode_answers():
+    async def body(host, port, service):
+        import dataclasses
+
+        from repro.runner import Job
+
+        def _boom():
+            raise RuntimeError("poisoned worker")
+
+        async def failing_submit(job, client, _original=service.submit,
+                                 **kwargs):
+            return await _original(
+                Job(fn=_boom, args=(), key=job.key, label=job.label),
+                client, **kwargs)
+
+        service.submit = failing_submit
+        reader, writer = await open_http(host, port)
+        try:
+            status, _headers, _resp = await post_job(reader, writer,
+                                                     SPEC, "alice")
+            assert status == 500                  # trips the breaker
+            status, headers, resp = await post_job(reader, writer,
+                                                   SPEC, "bob")
+            assert status == 503
+            payload = json.loads(resp)
+            assert payload["error"] == "breaker-open"
+            assert int(headers["retry-after"]) >= 1
+
+            service.config = dataclasses.replace(service.config,
+                                                 degraded=True)
+            status, headers, resp = await post_job(reader, writer,
+                                                   SPEC, "carol")
+            assert status == 200
+            assert headers["x-cache"] == "degraded"
+            payload = json.loads(resp)
+            assert payload["degraded"] is True
+            assert payload["result"]              # analytical rows
+        finally:
+            await _close(writer)
+    serve_run(body, breaker_threshold=1, breaker_cooldown=60.0)

@@ -20,8 +20,9 @@ import pytest
 
 from repro.runner import Job, ResultCache
 from repro.runner.supervisor import RetryPolicy
-from repro.serve import (AdmissionError, ServiceConfig, SimulationService,
-                         TokenBucket, result_body)
+from repro.serve import (AdmissionError, BreakerOpen, CircuitBreaker,
+                         ServiceConfig, SimulationService, TokenBucket,
+                         result_body)
 
 # Shared state for thread-executor jobs (the pool shares our memory).
 _LOCK = threading.Lock()
@@ -333,7 +334,122 @@ def test_token_bucket_refills_at_rate():
     {"queue_depth": 0},
     {"rate": -0.5},
     {"burst": 0},
+    {"breaker_threshold": -1},
+    {"breaker_cooldown": 0.0},
+    {"breaker_cooldown": -2.0},
 ])
 def test_service_config_validation(bad):
     with pytest.raises(ValueError):
         ServiceConfig(**bad)
+
+
+# -- circuit breaker / degraded mode ---------------------------------------
+
+def test_circuit_breaker_state_machine_with_fake_clock():
+    clock = [0.0]
+    breaker = CircuitBreaker(threshold=3, cooldown=30.0,
+                             clock=lambda: clock[0])
+    assert breaker.state == "closed" and breaker.allow()
+
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_success()                # a success resets the streak
+    assert breaker.failures == 0
+
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == "open" and not breaker.allow()
+    assert breaker.trips == 1
+    assert breaker.retry_after() == pytest.approx(30.0)
+
+    clock[0] += 29.0                        # still cooling down
+    assert not breaker.allow()
+    assert breaker.retry_after() == pytest.approx(1.0)
+
+    clock[0] += 1.0                         # cooldown elapsed
+    assert breaker.state == "half-open"
+    assert breaker.allow()                  # exactly one probe admitted
+    assert not breaker.allow()              # concurrent misses still shed
+    breaker.record_failure()                # probe failed -> re-open
+    assert breaker.state == "open" and breaker.trips == 2
+
+    clock[0] += 30.0
+    assert breaker.allow()
+    breaker.record_success()                # probe succeeded -> closed
+    assert breaker.state == "closed" and breaker.failures == 0
+    assert breaker.allow()
+
+
+def test_circuit_breaker_disabled_at_threshold_zero():
+    breaker = CircuitBreaker(threshold=0, cooldown=1.0)
+    for _ in range(100):
+        breaker.record_failure()
+    assert breaker.state == "closed" and breaker.allow()
+    assert breaker.trips == 0
+
+
+def test_open_breaker_fast_fails_misses_but_serves_hits():
+    async def body(service):
+        warm = await service.submit(_job(_counted_job, "warm"), "a")
+        await service.wait(warm)
+        assert warm.status == "done"
+
+        for client in ("b", "c"):
+            bad = await service.submit(_job(_failing_job, "bad"),
+                                       client)
+            await service.wait(bad)
+            assert bad.status == "failed"
+        assert service.breaker.state == "open"
+
+        with pytest.raises(BreakerOpen) as excinfo:
+            await service.submit(_job(_counted_job, "fresh"), "d")
+        assert excinfo.value.retry_after > 0
+        assert service.metrics.rejected["breaker-open"] == 1
+
+        # The cache stays healthy even when the pool is not.
+        hit = await service.submit(_job(_counted_job, "warm"), "e")
+        assert hit.source == "hit"
+        assert json.loads(hit.flight.body)["result"] == \
+            {"name": "warm", "rows": [1, 2, 3]}
+
+        snapshot = service.metrics_snapshot()
+        assert snapshot["breaker"] == {"state": "open", "failures": 2,
+                                       "trips": 1}
+    serve_run(body, breaker_threshold=2, breaker_cooldown=60.0)
+
+
+def test_degraded_mode_answers_from_surrogate_and_never_caches():
+    async def body(service):
+        bad = await service.submit(_job(_failing_job, "bad"), "a")
+        await service.wait(bad)
+        assert service.breaker.state == "open"
+        stores_before = service.cache.stores
+
+        record = await service.submit(
+            _job(_counted_job, "fresh"), "b",
+            degraded_fn=lambda: [{"analytical": True}])
+        assert record.source == "degraded"
+        assert record.status == "done"
+        payload = json.loads(record.flight.body)
+        assert payload["degraded"] is True
+        assert payload["result"] == [{"analytical": True}]
+        snap = record.snapshot()
+        assert snap["degraded"] is True
+        assert "result_url" not in snap
+
+        # Surrogate answers are marked, never cached, never run the
+        # real job — a resubmission recomputes instead of hitting.
+        assert "fresh" not in _RUNS
+        assert service.cache.stores == stores_before
+        again = await service.submit(
+            _job(_counted_job, "fresh"), "c",
+            degraded_fn=lambda: [])
+        assert again.source == "degraded"
+        assert service.metrics.degraded == 2
+
+        # Without a surrogate the open breaker still fast-fails.
+        with pytest.raises(BreakerOpen):
+            await service.submit(_job(_counted_job, "fresh2"), "d")
+    serve_run(body, breaker_threshold=1, breaker_cooldown=60.0,
+              degraded=True)
