@@ -244,9 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-dir", default=None,
                          help="result-cache root (default: "
                               "$REPRO_CACHE_DIR or .repro-cache/)")
-    p_serve.add_argument("--cache-quota-mib", type=float, default=0.0,
+    p_serve.add_argument("--cache-quota-mib", type=float, default=None,
                          help="cache size quota in MiB; LRU entries "
-                              "are evicted past it (0 = unbounded)")
+                              "are evicted past it (0 = unbounded, "
+                              "overriding $REPRO_CACHE_QUOTA; "
+                              "default: $REPRO_CACHE_QUOTA or 0)")
     p_serve.add_argument("--breaker-threshold", type=int, default=0,
                          help="consecutive pool failures that trip "
                               "the circuit breaker (0 = disabled)")
@@ -540,8 +542,15 @@ def cmd_serve(args) -> int:
     from repro.serve import (ServeConfig, ServiceConfig,
                              SimulationService, run_server)
 
-    quota = int(args.cache_quota_mib * (1 << 20)) or None
     try:
+        # None = flag not given (ResultCache falls back to
+        # $REPRO_CACHE_QUOTA); an explicit 0 disables any env quota.
+        quota = None
+        if args.cache_quota_mib is not None:
+            if args.cache_quota_mib < 0:
+                raise ValueError("--cache-quota-mib must be >= 0 "
+                                 "(0 = unbounded)")
+            quota = int(args.cache_quota_mib * (1 << 20))
         config = ServiceConfig(
             workers=args.workers, executor=args.executor,
             queue_depth=args.queue_depth, rate=args.rate,
@@ -559,13 +568,13 @@ def cmd_serve(args) -> int:
             max_connections=args.max_connections)
         if args.drain < 0:
             raise ValueError("--drain must be >= 0")
+        if args.cache_dir is not None or quota is not None:
+            cache = ResultCache(args.cache_dir, quota_bytes=quota)
+        else:
+            cache = default_cache()
     except ValueError as exc:
         print(f"invalid configuration: {exc}", file=sys.stderr)
         return 2
-    if args.cache_dir is not None or quota:
-        cache = ResultCache(args.cache_dir, quota_bytes=quota)
-    else:
-        cache = default_cache()
     service = SimulationService(cache=cache, config=config)
 
     def ready(address):

@@ -57,6 +57,11 @@ CACHE_SCHEMA = 2
 #: Sentinel distinguishing "miss" from a cached ``None`` result.
 _MISS = object()
 
+#: Quota-enforced stores between full directory rescans — bounds how
+#: long the tracked byte total can under-count entries written by
+#: other processes sharing the cache root.
+_QUOTA_RESCAN_INTERVAL = 64
+
 #: SystemParameters fields that select *how* a sweep executes, not what
 #: it computes — excluded from cache keys so ``jobs=1`` and ``jobs=8``
 #: runs of the same config share entries.  The supervision knobs
@@ -172,6 +177,10 @@ class ResultCache:
         self.corrupt = 0
         self.evictions = 0
         self.write_errors = 0
+        # Running entry-byte total for O(1) quota checks on the store
+        # hot path; None = unknown (forces a directory rescan).
+        self._total_bytes: Optional[int] = None
+        self._stores_since_scan = 0
 
     # -- addressing ----------------------------------------------------
     def digest(self, key: dict) -> str:
@@ -309,17 +318,16 @@ class ResultCache:
             return False
         self.stores += 1
         if self.quota_bytes:
+            if self._total_bytes is not None:
+                # Over-counts when an existing entry is overwritten;
+                # drift upward only ever triggers a correcting rescan.
+                self._total_bytes += len(payload)
+            self._stores_since_scan += 1
             self._enforce_quota()
         return True
 
-    def _enforce_quota(self) -> None:
-        """Evict least-recently-used entries until the total fits.
-
-        Recency is file mtime (loads refresh it); the entry just
-        stored is newest, so it survives unless the quota is smaller
-        than the entry itself — then the cache degrades to
-        pass-through, which is the correct bound-respecting behavior.
-        """
+    def _scan_entries(self) -> list[tuple[float, int, str]]:
+        """Stat every entry, resyncing the tracked byte total."""
         stats: list[tuple[float, int, str]] = []
         total = 0
         for path in self._entries():
@@ -329,6 +337,30 @@ class ResultCache:
                 continue
             stats.append((st.st_mtime, st.st_size, path))
             total += st.st_size
+        self._total_bytes = total
+        self._stores_since_scan = 0
+        return stats
+
+    def _enforce_quota(self) -> None:
+        """Evict least-recently-used entries until the total fits.
+
+        Recency is file mtime (loads refresh it); the entry just
+        stored is newest, so it survives unless the quota is smaller
+        than the entry itself — then the cache degrades to
+        pass-through, which is the correct bound-respecting behavior.
+
+        The tracked in-process byte total makes the common under-quota
+        store O(1); the full directory walk happens only when the
+        tracked total crosses the quota (eviction needs the stat list
+        anyway) or every :data:`_QUOTA_RESCAN_INTERVAL` stores, to
+        resync with entries written by other processes.
+        """
+        total = self._total_bytes
+        if (total is not None and total <= self.quota_bytes
+                and self._stores_since_scan < _QUOTA_RESCAN_INTERVAL):
+            return
+        stats = self._scan_entries()
+        total = self._total_bytes
         if total <= self.quota_bytes:
             return
         for _mtime, size, path in sorted(stats):
@@ -340,6 +372,7 @@ class ResultCache:
                 continue
             total -= size
             self.evictions += 1
+        self._total_bytes = total
 
     # -- maintenance ---------------------------------------------------
     def _entries(self) -> list[str]:
@@ -396,6 +429,8 @@ class ResultCache:
                 purged += 1
                 self.corrupt += 1
                 self._log_corrupt(digest, exc)
+        self._total_bytes = total
+        self._stores_since_scan = 0
         return {"root": self.root, "scanned": scanned, "ok": ok,
                 "purged": purged, "bytes": total,
                 "quota_bytes": self.quota_bytes,
@@ -413,6 +448,8 @@ class ResultCache:
         paths = self._entries()
         shutil.rmtree(os.path.join(self.root, "objects"),
                       ignore_errors=True)
+        self._total_bytes = 0
+        self._stores_since_scan = 0
         try:
             os.remove(self._corrupt_log_path())
         except OSError:

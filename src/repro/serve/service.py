@@ -126,6 +126,23 @@ class CircuitBreaker:
             return True
         return False
 
+    @property
+    def probing(self) -> bool:
+        """True while the single half-open probe slot is claimed."""
+        return self._probing
+
+    def release_probe(self) -> None:
+        """Return an unused half-open probe slot.
+
+        Every probe admitted by :meth:`allow` must eventually resolve
+        through :meth:`record_success`, :meth:`record_failure`, or this
+        — if the admitted miss is rejected before reaching the pool
+        (queue full, service stopped) or cancelled mid-flight, the slot
+        must be released or no probe can ever run again and the breaker
+        sheds every future miss until process restart.
+        """
+        self._probing = False
+
     def retry_after(self) -> float:
         """Seconds until the next half-open probe window (0 when the
         breaker is not open)."""
@@ -358,7 +375,7 @@ class _Flight:
     the terminal body bytes are produced exactly once."""
 
     __slots__ = ("digest", "job", "client", "status", "body", "error",
-                 "event")
+                 "event", "probe")
 
     def __init__(self, digest: str, job: Job, client: str) -> None:
         self.digest = digest
@@ -368,6 +385,7 @@ class _Flight:
         self.body: Optional[bytes] = None
         self.error: Optional[dict] = None
         self.event = asyncio.Event()
+        self.probe = False       # admitted as the half-open probe
 
     def finish(self, body: bytes) -> None:
         self.status = "done"
@@ -482,6 +500,18 @@ class SimulationService:
             task.cancel()
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
+        # Flights still queued never reached _run_flight: resolve
+        # their waiters and return a claimed half-open probe slot.
+        for queue in self._client_queues.values():
+            for flight in queue:
+                if flight.probe:
+                    self.breaker.release_probe()
+                self._flights.pop(flight.digest, None)
+                flight.fail({"error": "cancelled",
+                             "label": flight.job.label})
+        self._client_queues.clear()
+        self._rr.clear()
+        self._queued = 0
         self._shutdown_pool()
 
     def _make_pool(self):
@@ -591,16 +621,25 @@ class SimulationService:
                 f"consecutive failures); simulation misses are "
                 f"fast-failing until the next probe")
 
+        # allow() may have just claimed the single half-open probe slot
+        # for this miss; if a later admission check rejects it, the
+        # slot must be returned or no probe can ever run again.
+        probe = self.breaker.probing
         if self._queued >= self.config.queue_depth:
+            if probe:
+                self.breaker.release_probe()
             self.metrics.rejected["queue-full"] += 1
             raise AdmissionError(
                 "queue-full",
                 f"{self._queued} job(s) already pending (bound "
                 f"{self.config.queue_depth})")
         if not self._started:
+            if probe:
+                self.breaker.release_probe()
             raise RuntimeError("service not started (await start())")
         self.metrics.misses += 1
         flight = _Flight(digest, job, client)
+        flight.probe = probe
         self._flights[digest] = flight
         self._enqueue(client, flight)
         return self._record(client, "miss", flight)
@@ -696,11 +735,17 @@ class SimulationService:
                          "attempts": failure.attempts,
                          "traceback": failure.traceback})
         except asyncio.CancelledError:
+            if flight.probe:
+                # A cancelled probe is no verdict on pool health:
+                # return the slot (don't re-open) so the next miss
+                # can probe instead of fast-failing forever.
+                self.breaker.release_probe()
             flight.fail({"error": "cancelled",
                          "label": flight.job.label})
             raise
         except Exception as exc:  # internal (non-job) error
             self.metrics.failed += 1
+            self.breaker.record_failure()
             flight.fail({"error": "internal",
                          "label": flight.job.label,
                          "detail": f"{type(exc).__name__}: {exc}"})

@@ -119,6 +119,55 @@ def test_quota_validation_and_env_default(tmp_path, monkeypatch):
     assert ResultCache(str(tmp_path), quota_bytes=0).quota_bytes == 0
 
 
+def test_under_quota_stores_skip_directory_scans(tmp_path):
+    """The serving hot path must not pay an O(n) walk per store: with
+    the tracked byte total well under quota, only the first store (an
+    unknown total) scans the directory."""
+    size = _entry_size(tmp_path)
+    cache = ResultCache(str(tmp_path / "c"), quota_bytes=size * 100)
+    real_entries = cache._entries
+    scans = []
+
+    def counting_entries():
+        scans.append(True)
+        return real_entries()
+
+    cache._entries = counting_entries
+    for i in range(10):
+        _store(cache, i)
+    assert len(scans) == 1
+    assert cache.evictions == 0
+    assert cache._total_bytes == sum(os.path.getsize(p)
+                                     for p in real_entries())
+
+
+def test_quota_rescan_resyncs_entries_from_other_processes(tmp_path,
+                                                           monkeypatch):
+    """The tracked total cannot see entries another process writes into
+    the same root; the periodic rescan bounds that drift and restores
+    the quota."""
+    import repro.runner.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_QUOTA_RESCAN_INTERVAL", 2)
+    size = _entry_size(tmp_path)
+    root = str(tmp_path / "c")
+    cache = ResultCache(root, quota_bytes=int(size * 4.5))
+    other = ResultCache(root, quota_bytes=0)    # "another process"
+
+    _store(cache, 0)                  # first store scans: total = 1
+    _store(other, 10)                 # invisible to cache's total
+    _store(other, 11)
+    _store(cache, 1)                  # tracked 2 <= quota: no scan yet
+    assert cache.evictions == 0
+    # Tracked total (3) is still under quota, but the store count hits
+    # the rescan interval: the walk finds the true 5-entry total and
+    # evicts back under the bound.
+    _store(cache, 2)
+    assert cache.evictions >= 1
+    total = sum(os.path.getsize(p) for p in cache._entries())
+    assert total <= cache.quota_bytes
+
+
 # -- full disk -------------------------------------------------------------
 
 def test_enospc_degrades_to_pass_through(tmp_path, monkeypatch):

@@ -272,7 +272,9 @@ def test_serve_parser_defaults():
     assert args.breaker_threshold == 0
     assert args.breaker_cooldown == 30.0
     assert args.degraded is False
-    assert args.cache_quota_mib == 0.0
+    # None = "not given": the cache falls back to $REPRO_CACHE_QUOTA,
+    # and an explicit --cache-quota-mib 0 can override that env var.
+    assert args.cache_quota_mib is None
     assert (args.header_timeout, args.body_timeout) == (10.0, 20.0)
     assert (args.idle_timeout, args.write_timeout) == (60.0, 20.0)
     assert args.max_connections == 256 and args.drain == 10.0
@@ -285,10 +287,33 @@ def test_serve_parser_defaults():
     ["--header-timeout", "-1"],
     ["--max-connections", "-1"],
     ["--drain", "-1"],
+    ["--cache-quota-mib", "-1"],
 ])
 def test_serve_rejects_bad_config(capsys, flags):
     code = main(["serve", *flags])
     assert code == 2
+    assert "invalid configuration" in capsys.readouterr().err
+
+
+def test_serve_explicit_zero_quota_overrides_env(monkeypatch, tmp_path):
+    """--cache-quota-mib 0 must disable a REPRO_CACHE_QUOTA quota, not
+    silently fall through to it."""
+    monkeypatch.setenv("REPRO_CACHE_QUOTA", str(1 << 20))
+    built = {}
+
+    async def fake_run_server(service, *args, **kwargs):
+        built["service"] = service
+
+    monkeypatch.setattr("repro.serve.run_server", fake_run_server)
+    code = main(["serve", "--cache-dir", str(tmp_path / "c"),
+                 "--cache-quota-mib", "0"])
+    assert code == 0
+    assert built["service"].cache.quota_bytes == 0
+
+    # Flag absent: the env quota applies.
+    code = main(["serve", "--cache-dir", str(tmp_path / "c")])
+    assert code == 0
+    assert built["service"].cache.quota_bytes == 1 << 20
 
 
 def test_load_parser_defaults():

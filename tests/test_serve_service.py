@@ -453,3 +453,104 @@ def test_degraded_mode_answers_from_surrogate_and_never_caches():
             await service.submit(_job(_counted_job, "fresh2"), "d")
     serve_run(body, breaker_threshold=1, breaker_cooldown=60.0,
               degraded=True)
+
+
+def test_probe_slot_released_when_admission_rejects_the_probe():
+    """A half-open probe rejected by the queue-depth bound must return
+    its slot; otherwise the breaker is stuck half-open forever and the
+    service 503s every miss until restart."""
+    async def body(service):
+        # Occupy the single worker and fill the one-deep queue while
+        # the breaker is still closed.
+        running = await service.submit(_gate("g1"), "a")
+        await _wait_started("g1")
+        queued = await service.submit(_gate("g2"), "a")
+        assert service._queued == 1
+
+        service.breaker.record_failure()      # threshold=1: trips open
+        assert service.breaker.state == "open"
+        await asyncio.sleep(0.05)             # cooldown elapses
+        assert service.breaker.state == "half-open"
+
+        # The probe miss is admitted past the breaker but rejected by
+        # the full queue — the slot must come back.
+        with pytest.raises(AdmissionError) as excinfo:
+            await service.submit(_job(_counted_job, "fresh"), "b")
+        assert excinfo.value.reason == "queue-full"
+        assert not service.breaker.probing
+        assert service.breaker.state == "half-open"
+
+        # Before the fix this second attempt raised BreakerOpen (the
+        # leaked slot shed every miss); now it reaches admission again.
+        with pytest.raises(AdmissionError) as excinfo:
+            await service.submit(_job(_counted_job, "fresh"), "b")
+        assert excinfo.value.reason == "queue-full"
+
+        # Drain: once the queue has room the probe actually runs and
+        # its success closes the breaker.
+        _GATES["g1"].set()
+        _GATES["g2"].set()
+        await service.wait(running)
+        await service.wait(queued)
+        probe = await service.submit(_job(_counted_job, "fresh"), "b")
+        await service.wait(probe)
+        assert probe.status == "done"
+        assert service.breaker.state == "closed"
+    serve_run(body, workers=1, queue_depth=1, breaker_threshold=1,
+              breaker_cooldown=0.02)
+
+
+def test_internal_error_counts_as_breaker_failure_and_resolves_probe():
+    """A non-job internal error is still a failed flight: it must feed
+    the breaker (and, for a half-open probe, re-open it) instead of
+    leaving the probe slot claimed forever."""
+    async def body(service):
+        async def _broken_execute(job):
+            raise RuntimeError("executor wiring broke")
+        service._execute = _broken_execute
+
+        first = await service.submit(_job(_counted_job, "x"), "a")
+        await service.wait(first)
+        assert first.status == "failed"
+        assert first.flight.error["error"] == "internal"
+        assert service.breaker.state == "open"   # threshold=1
+        assert service.breaker.trips == 1
+
+        await asyncio.sleep(0.05)                # half-open window
+        probe = await service.submit(_job(_counted_job, "y"), "b")
+        assert probe.flight.probe
+        await service.wait(probe)
+        assert probe.status == "failed"
+        # The failed probe re-opened the breaker — not stuck half-open.
+        assert not service.breaker.probing
+        assert service.breaker.state == "open"
+        assert service.breaker.trips == 2
+    serve_run(body, workers=1, breaker_threshold=1,
+              breaker_cooldown=0.02)
+
+
+def test_close_resolves_queued_probe_and_releases_its_slot():
+    """close() must settle flights that never reached a worker: their
+    waiters unblock with a typed error and a claimed half-open probe
+    slot is returned."""
+    async def body(service):
+        running = await service.submit(_gate("g1"), "a")
+        await _wait_started("g1")
+        service.breaker.record_failure()
+        await asyncio.sleep(0.05)
+        assert service.breaker.state == "half-open"
+
+        # Admitted as the probe, but stuck behind g1 in the queue.
+        queued = await service.submit(_job(_counted_job, "q"), "b")
+        assert queued.flight.probe
+        assert queued.status == "queued"
+
+        await service.close()
+        assert not service.breaker.probing
+        assert queued.status == "failed"
+        assert queued.flight.error["error"] == "cancelled"
+        assert running.status == "failed"
+        assert service._queued == 0 and not service._flights
+        _GATES["g1"].set()
+    serve_run(body, workers=1, breaker_threshold=1,
+              breaker_cooldown=0.02)
