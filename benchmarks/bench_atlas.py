@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Gate the vectorized screening engine; writes ``BENCH_atlas.json``.
+
+Three phases, three gates:
+
+1. **Differential** — the batched evaluator must agree with the scalar
+   analytical model *exactly* on hundreds of random configurations
+   (every scheme, degenerate meshes included).  Gate: 0 mismatches over
+   >= 200 configs.
+2. **Throughput** — screen a multi-axis design grid twice (cold, then
+   with the compile cache warm).  Gate: the warm pass screens >= 1e5
+   configurations/s.  Configurations are counted the way the grid
+   defines them — axes the model provably ignores are evaluated once
+   and broadcast, and the raw evaluator rate is reported alongside for
+   transparency.
+3. **Atlas** — run the full screen -> calibrate -> refine -> atlas
+   pipeline and write the artifacts.  Gate: the simulator ran on at
+   most 5% of the screened grid, and every region's winner carries a
+   calibrated (finite) error band.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_atlas.py --smoke
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.analytical import (estimate_latency,          # noqa: E402
+                                       plan_message_count,
+                                       plan_traffic)
+from repro.config import SystemParameters                         # noqa: E402
+from repro.core import SCHEMES, build_plan                        # noqa: E402
+from repro.explore.atlas import build_atlas, write_atlas          # noqa: E402
+from repro.explore.calibrate import calibrate                     # noqa: E402
+from repro.explore.grid import (DEFAULT_SCHEMES, ScreenGrid,      # noqa: E402
+                                screen)
+from repro.explore.refine import refine                           # noqa: E402
+from repro.explore.vectorized import (clear_compile_cache,        # noqa: E402
+                                      evaluate_plans)
+from repro.network.topology import Mesh2D                         # noqa: E402
+from repro.runner import ResultCache                              # noqa: E402
+
+THROUGHPUT_FLOOR = 1e5         #: warm screening configs/s gate
+SIM_FRACTION_CAP = 0.05        #: atlas phase may simulate this much
+DIFFERENTIAL_MESHES = [(4, 4), (8, 8), (5, 3), (2, 2), (1, 16),
+                       (16, 1), (6, 6)]
+
+
+def differential_phase(n_target: int, seed: int) -> dict:
+    """Vectorized vs scalar on random configurations; exact or bust."""
+    rng = random.Random(seed)
+    schemes = sorted(SCHEMES)
+    checked = mismatches = 0
+    t0 = time.perf_counter()
+    while checked < n_target:
+        width, height = DIFFERENTIAL_MESHES[
+            checked % len(DIFFERENTIAL_MESHES)]
+        mesh = Mesh2D(width, height)
+        nodes = width * height
+        params = SystemParameters(
+            mesh_width=width, mesh_height=height,
+            router_delay=rng.randint(1, 6),
+            send_overhead=rng.randint(1, 8),
+            recv_overhead=rng.randint(1, 8),
+            cache_invalidate=rng.randint(1, 6),
+            iack_deposit=rng.randint(1, 4),
+            iack_pickup=rng.randint(1, 4),
+            header_flits=rng.randint(1, 3),
+            control_flits=rng.randint(1, 4),
+            gather_payload_flits=rng.randint(1, 4),
+            multidest_encoding=rng.choice(["bitstring", "list"]))
+        plans = []
+        for _ in range(8):
+            scheme = schemes[rng.randrange(len(schemes))]
+            home = rng.randrange(nodes)
+            degree = rng.randint(1, min(12, nodes - 1))
+            sharers = rng.sample(
+                [n for n in range(nodes) if n != home], degree)
+            plans.append(build_plan(scheme, mesh, home, sharers))
+        lat, msg, tfc = evaluate_plans(plans, mesh, params)
+        for k, plan in enumerate(plans):
+            ok = (lat[k] == estimate_latency(plan, params, mesh)
+                  and msg[k] == plan_message_count(plan)
+                  and tfc[k] == plan_traffic(plan, params, mesh))
+            mismatches += not ok
+            checked += 1
+    return {"checked": checked, "mismatches": mismatches,
+            "elapsed_s": time.perf_counter() - t0}
+
+
+def throughput_grid(smoke: bool) -> ScreenGrid:
+    meshes = ((4, 4), (8, 8)) if smoke \
+        else ((4, 4), (8, 8), (16, 16))
+    degrees = (1, 2, 3, 4, 6, 8, 12, 16, 24) if smoke \
+        else (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48)
+    return ScreenGrid.make(
+        meshes=meshes, degrees=degrees,
+        per_degree=2 if smoke else 3, schemes=DEFAULT_SCHEMES,
+        axes={"multidest_encoding": ("bitstring", "list"),
+              "router_delay": (1, 2, 4),
+              "send_overhead": (2, 4),
+              "consumption_channels": (1, 2, 4),
+              "iack_buffers": (2, 4),
+              "vc_buffer_depth": (2, 4)})
+
+
+def throughput_phase(smoke: bool) -> dict:
+    """Cold + warm screening passes over the wide grid."""
+    grid = throughput_grid(smoke)
+    clear_compile_cache()
+    cold = screen(grid).stats
+    result = screen(grid)                    # compile cache now hot
+    warm = result.stats
+    raw_evals = len(result) * grid.per_degree
+    return {
+        "n_configs": result.n_configs,
+        "analytical_cells": len(result),
+        "raw_evaluations": raw_evals,
+        "cold_configs_per_s": cold["configs_per_s"],
+        "warm_configs_per_s": warm["configs_per_s"],
+        "raw_evals_per_s": raw_evals / max(warm["eval_s"], 1e-9),
+        "cold_elapsed_s": cold["elapsed_s"],
+        "warm_elapsed_s": warm["elapsed_s"],
+        "floor_configs_per_s": THROUGHPUT_FLOOR,
+    }
+
+
+def atlas_phase(smoke: bool, out_dir: str, cache_root: str) -> dict:
+    """screen -> calibrate -> refine -> atlas, end to end."""
+    grid = ScreenGrid.make(
+        meshes=((4, 4), (8, 8)) if smoke
+        else ((4, 4), (8, 8), (16, 16)),
+        degrees=(1, 2, 4, 8, 16) if smoke
+        else (1, 2, 4, 8, 16, 32),
+        per_degree=2, schemes=DEFAULT_SCHEMES,
+        axes={"multidest_encoding": ("bitstring", "list"),
+              "consumption_channels": (1, 2, 4)})
+    result = screen(grid)
+    cache = ResultCache(cache_root)
+    t0 = time.perf_counter()
+    calib = calibrate(result, per_scheme=2 if smoke else 3,
+                      use_cache=True, cache=cache)
+    report = refine(result, calib, budget_fraction=SIM_FRACTION_CAP,
+                    use_cache=True, cache=cache)
+    sim_s = time.perf_counter() - t0
+    atlas = build_atlas(result, calib)
+    paths = write_atlas(atlas, __import__("pathlib").Path(out_dir))
+
+    winners_banded = all(
+        e["ranking"][0]["latency_hi"] is not None
+        for e in atlas["regions"])
+    return {
+        "n_configs": result.n_configs,
+        "simulated_cells": len({s["cell"] for s in calib.samples}),
+        "sim_fraction": report.sim_fraction,
+        "sim_fraction_cap": SIM_FRACTION_CAP,
+        "refine_rounds": report.rounds,
+        "converged": report.converged,
+        "max_band_width": calib.max_width,
+        "n_regions": atlas["meta"]["n_regions"],
+        "confident_regions": atlas["meta"]["confident_regions"],
+        "winners_all_banded": winners_banded,
+        "simulate_elapsed_s": sim_s,
+        "artifacts": {k: str(p) for k, p in paths.items()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[1])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: smaller grids, same gates")
+    parser.add_argument("--checks", type=int, default=None,
+                        help="differential configs (default: 240 "
+                             "smoke, 800 full)")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--atlas-out", default="results",
+                        help="atlas artifact directory")
+    parser.add_argument("--out", default="BENCH_atlas.json",
+                        help="result JSON path")
+    args = parser.parse_args(argv)
+    checks = args.checks or (240 if args.smoke else 800)
+    failures: list[str] = []
+
+    print(f"differential: {checks} random configs, every scheme")
+    diff = differential_phase(checks, args.seed)
+    print(f"  {diff['checked']} checked, {diff['mismatches']} "
+          f"mismatches in {diff['elapsed_s']:.1f}s")
+    if diff["mismatches"]:
+        failures.append(f"{diff['mismatches']} vector-vs-scalar "
+                        f"mismatches")
+
+    thr = throughput_phase(args.smoke)
+    print(f"throughput: {thr['n_configs']:,} configs "
+          f"({thr['analytical_cells']} cells), cold "
+          f"{thr['cold_configs_per_s']:,.0f}/s, warm "
+          f"{thr['warm_configs_per_s']:,.0f}/s "
+          f"(raw {thr['raw_evals_per_s']:,.0f} evals/s)")
+    if thr["warm_configs_per_s"] < THROUGHPUT_FLOOR:
+        failures.append(
+            f"warm screening {thr['warm_configs_per_s']:,.0f} "
+            f"configs/s below floor {THROUGHPUT_FLOOR:,.0f}")
+
+    with tempfile.TemporaryDirectory(
+            prefix="repro-bench-atlas-") as root:
+        atl = atlas_phase(args.smoke, args.atlas_out, root)
+    print(f"atlas: {atl['n_regions']} regions "
+          f"({atl['confident_regions']} confident), simulated "
+          f"{atl['simulated_cells']} of {atl['n_configs']:,} configs "
+          f"({atl['sim_fraction'] * 100:.2f}%) in "
+          f"{atl['simulate_elapsed_s']:.1f}s")
+    if atl["sim_fraction"] > SIM_FRACTION_CAP:
+        failures.append(f"simulated {atl['sim_fraction'] * 100:.2f}% "
+                        f"of the grid (cap "
+                        f"{SIM_FRACTION_CAP * 100:.0f}%)")
+    if not atl["winners_all_banded"]:
+        failures.append("some region winners lack calibrated bands")
+
+    payload = {
+        "bench": "atlas",
+        "smoke": args.smoke,
+        "differential": diff,
+        "throughput": thr,
+        "atlas": atl,
+        "failures": failures,
+        "ok": not failures,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

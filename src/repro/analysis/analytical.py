@@ -16,6 +16,7 @@ grow and the estimate becomes a lower bound.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 from repro.brcp.encoding import header_flit_count
@@ -30,6 +31,25 @@ from repro.core.plan import (ACT_ACK, ACT_CHAIN, ACT_CHAIN_FINAL,
 from repro.network.routing import Routing, make_routing
 from repro.network.topology import Mesh2D
 from repro.network.worm import WormKind
+
+
+# ----------------------------------------------------------------------
+# Shared routing objects
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _cached_routing(name: str, width: int, height: int) -> Routing:
+    return make_routing(name, Mesh2D(width, height))
+
+
+def routing_for(name: str, mesh: Mesh2D) -> Routing:
+    """Memoized :func:`make_routing` for the analytical evaluators.
+
+    The closed-form model only reads topology (``manhattan`` distances)
+    off the routing, so one immutable instance per ``(scheme, mesh
+    shape)`` can serve every plan of a sweep — repeated scheme x mesh
+    points stop rebuilding routing objects on each call.
+    """
+    return _cached_routing(name, mesh.width, mesh.height)
 
 
 # ----------------------------------------------------------------------
@@ -74,7 +94,7 @@ def plan_traffic(plan: InvalidationPlan, params: SystemParameters,
                  mesh: Mesh2D) -> int:
     """Exact flit-hops of a transaction on an idle network (every flit
     crosses every link of its worm's path exactly once)."""
-    routing = make_routing(plan.routing, mesh)
+    routing = routing_for(plan.routing, mesh)
     total = 0
     for group in plan.groups:
         hops = path_length(routing, plan.home, group.dests)
@@ -138,7 +158,7 @@ def estimate_latency(plan: InvalidationPlan,
     receive serialization at the home in the acknowledgment phase.
     """
     p = params
-    routing = make_routing(plan.routing, mesh)
+    routing = routing_for(plan.routing, mesh)
     if not plan.sharers:
         return 0
 

@@ -48,6 +48,7 @@ from repro.analysis import (format_table, miss_latency_micro,
 from repro.analysis.experiments import run_analytical_sweep
 from repro.config import ConfigError, paper_parameters
 from repro.core.grouping import SCHEMES
+from repro.explore.grid import DEFAULT_SCHEMES
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
@@ -86,6 +87,17 @@ def _csv_floats(text: str) -> list[float]:
 def _xy(text: str) -> tuple[int, int]:
     x, y = text.split(",")
     return int(x), int(y)
+
+
+def _csv_meshes(text: str) -> list[tuple[int, int]]:
+    """``4x4,8x8,16x8`` -> [(4, 4), (8, 8), (16, 8)]."""
+    out = []
+    for token in text.split(","):
+        if not token:
+            continue
+        w, _, h = token.partition("x")
+        out.append((int(w), int(h or w)))
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -315,6 +327,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_worms.add_argument("--sharers", type=str,
                          default="1,1 1,5 3,6 6,2 6,5",
                          help="space-separated x,y coordinates")
+
+    p_atlas = sub.add_parser(
+        "atlas",
+        help="screen the design space analytically, calibrate against "
+             "the simulator, and write the scenario atlas")
+    p_atlas.add_argument("--meshes", type=_csv_meshes,
+                         default=[(4, 4), (8, 8)],
+                         help="comma-separated WxH mesh shapes "
+                              "(e.g. 4x4,8x8,16x8)")
+    p_atlas.add_argument("--degrees", type=_csv_ints,
+                         default=[1, 2, 4, 8, 16])
+    p_atlas.add_argument("--schemes", type=_csv_strs,
+                         default=list(DEFAULT_SCHEMES))
+    p_atlas.add_argument("--kind", default="uniform",
+                         choices=["uniform", "column", "row"])
+    p_atlas.add_argument("--per-degree", type=int, default=3)
+    p_atlas.add_argument("--seed", type=int, default=0)
+    p_atlas.add_argument("--encodings", type=_csv_strs,
+                         default=["bitstring", "list"],
+                         help="multidest_encoding axis values")
+    p_atlas.add_argument("--channels", type=_csv_ints,
+                         default=[1, 2, 4],
+                         help="consumption_channels axis values")
+    p_atlas.add_argument("--axis", action="append", default=[],
+                         metavar="NAME=V1,V2",
+                         help="extra SystemParameters axis (repeatable)")
+    p_atlas.add_argument("--calibrate-per-scheme", type=int, default=3,
+                         help="stratified simulator samples per scheme")
+    p_atlas.add_argument("--budget-fraction", type=float, default=0.05,
+                         help="max simulated fraction of the grid")
+    p_atlas.add_argument("--tol", type=float, default=0.02,
+                         help="band-width convergence tolerance")
+    p_atlas.add_argument("--max-rounds", type=int, default=4)
+    p_atlas.add_argument("--no-refine", action="store_true",
+                         help="skip the active-sampling refinement")
+    p_atlas.add_argument("--out", default="results",
+                         help="output directory for atlas.md/atlas.json")
+    _add_execution_flags(p_atlas)
     return parser
 
 
@@ -716,6 +766,77 @@ def cmd_worms(args) -> int:
     return 0
 
 
+def cmd_atlas(args) -> int:
+    """``repro atlas``: screen -> calibrate -> refine -> report."""
+    from pathlib import Path
+
+    from repro.explore.atlas import build_atlas, write_atlas
+    from repro.explore.calibrate import calibrate
+    from repro.explore.grid import ScreenGrid, screen
+    from repro.explore.refine import refine
+
+    for scheme in args.schemes:
+        if scheme not in SCHEMES:
+            print(f"unknown scheme {scheme!r}; choose from "
+                  f"{sorted(SCHEMES)}", file=sys.stderr)
+            return 2
+    axes: dict[str, tuple] = {}
+    if args.encodings:
+        axes["multidest_encoding"] = tuple(args.encodings)
+    if args.channels:
+        axes["consumption_channels"] = tuple(args.channels)
+    for spec in args.axis:
+        name, _, values = spec.partition("=")
+        if not values:
+            print(f"bad --axis {spec!r} (want NAME=V1,V2)",
+                  file=sys.stderr)
+            return 2
+        axes[name] = tuple(int(v) if v.lstrip("-").isdigit() else v
+                           for v in values.split(",") if v)
+    base: dict = {}
+    if getattr(args, "kernel", None) is not None:
+        base["kernel"] = args.kernel
+    try:
+        grid = ScreenGrid.make(
+            meshes=tuple(tuple(m) for m in args.meshes),
+            degrees=tuple(args.degrees),
+            schemes=tuple(args.schemes), kind=args.kind,
+            per_degree=args.per_degree, seed=args.seed,
+            axes=axes, base=base)
+        result = screen(grid)
+    except (ConfigError, ValueError) as exc:
+        print(f"invalid atlas grid: {exc}", file=sys.stderr)
+        return 2
+    stats = result.stats
+    print(f"screened {result.n_configs:,} configurations "
+          f"({len(result)} analytical cells) in "
+          f"{stats['elapsed_s']:.2f}s "
+          f"({stats['configs_per_s']:,.0f} configs/s)")
+
+    use_cache = False if args.no_cache else None
+    calib = calibrate(result, per_scheme=args.calibrate_per_scheme,
+                      seed=args.seed, jobs=args.jobs,
+                      use_cache=use_cache)
+    print(f"calibrated {calib.meta['simulated_cells']} cells; "
+          f"max band width {calib.max_width:.3f}")
+    if not args.no_refine:
+        report = refine(result, calib,
+                        budget_fraction=args.budget_fraction,
+                        tol=args.tol, max_rounds=args.max_rounds,
+                        jobs=args.jobs, use_cache=use_cache)
+        print(f"refined {report.simulated_cells} cells over "
+              f"{report.rounds} rounds "
+              f"(sim fraction {report.sim_fraction * 100:.2f}%, "
+              f"{'converged' if report.converged else 'budget-bound'})")
+    atlas = build_atlas(result, calib)
+    paths = write_atlas(atlas, Path(args.out))
+    meta = atlas["meta"]
+    print(f"atlas: {meta['n_regions']} regions, "
+          f"{meta['confident_regions']} confident -> "
+          f"{paths['markdown']} / {paths['json']}")
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "sweep": cmd_sweep,
@@ -730,6 +851,7 @@ _COMMANDS = {
     "cache": cmd_cache,
     "serve": cmd_serve,
     "load": cmd_load,
+    "atlas": cmd_atlas,
 }
 
 

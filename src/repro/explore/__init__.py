@@ -1,0 +1,18 @@
+"""Surrogate screening engine: vectorized analytical mega-sweeps,
+simulator calibration, active-sampling refinement and the scenario
+atlas (see ``docs/ATLAS.md`` for the workflow)."""
+
+from repro.explore.vectorized import (ANALYTICAL_FIELDS, ParamVector,
+                                      PlanBatch, compile_plan,
+                                      compiled_plan, evaluate_batch,
+                                      evaluate_plans)
+
+__all__ = [
+    "ANALYTICAL_FIELDS",
+    "ParamVector",
+    "PlanBatch",
+    "compile_plan",
+    "compiled_plan",
+    "evaluate_batch",
+    "evaluate_plans",
+]

@@ -59,7 +59,8 @@ MAX_BODY_BYTES = 1 << 20
 #: Hard cap on header lines per request (431 past it).
 MAX_HEADERS = 100
 
-_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+_REASONS = {200: "OK", 202: "Accepted", 304: "Not Modified",
+            400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
             408: "Request Timeout", 413: "Payload Too Large",
             429: "Too Many Requests",
@@ -554,8 +555,22 @@ class ServeServer:
                                                    "for that digest"}),
                             request.keep_alive)
             return
+        # Results are content-addressed, hence immutable: the digest is
+        # the ETag and revalidation can always short-circuit to 304.
+        etag = f'"{digest}"'
+        cache_headers = (
+            ("ETag", etag),
+            ("Cache-Control", "public, max-age=31536000, immutable"),
+        )
+        inm = request.headers.get("if-none-match", "")
+        candidates = {v.strip() for v in inm.split(",")} if inm else set()
+        if "*" in candidates or etag in candidates:
+            _write_response(writer, 304, b"", request.keep_alive,
+                            extra_headers=cache_headers)
+            return
         _write_response(writer, 200, body, request.keep_alive,
-                        extra_headers=(("X-Cache", "hit"),))
+                        extra_headers=cache_headers
+                        + (("X-Cache", "hit"),))
 
 
 async def run_server(service: SimulationService, host: str, port: int,

@@ -358,3 +358,40 @@ def test_serve_and_load_round_trip(capsys, tmp_path):
 
     stats = asyncio.run(main_coro())
     assert stats["errors"] == 0 and stats["requests"] == 8
+
+
+def test_atlas_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["atlas"])
+    assert args.meshes == [(4, 4), (8, 8)]
+    assert args.degrees == [1, 2, 4, 8, 16]
+    assert args.per_degree == 3 and args.seed == 0
+    assert args.calibrate_per_scheme == 3
+    assert args.budget_fraction == 0.05 and args.max_rounds == 4
+    assert args.out == "results"
+
+
+def test_atlas_rejects_bad_scheme(capsys):
+    code = main(["atlas", "--schemes", "warp-speed"])
+    assert code == 2
+
+
+def test_atlas_rejects_bad_axis(capsys):
+    code = main(["atlas", "--axis", "router_delay"])
+    assert code == 2
+
+
+def test_atlas_smoke_writes_artifacts(capsys, tmp_path):
+    code, out = run_cli(
+        capsys, "atlas", "--meshes", "4x4", "--degrees", "1,2",
+        "--per-degree", "1", "--schemes", "ui-ua,mi-ma-ec",
+        "--calibrate-per-scheme", "1", "--no-refine", "--jobs", "1",
+        "--no-cache", "--encodings", "bitstring",
+        "--out", str(tmp_path / "atlas"))
+    assert code == 0
+    assert "screened" in out and "calibrated" in out and "atlas:" in out
+    import json as _json
+    atlas = _json.loads((tmp_path / "atlas" / "atlas.json").read_text())
+    assert atlas["meta"]["n_regions"] == 2
+    assert (tmp_path / "atlas" / "atlas.md").exists()

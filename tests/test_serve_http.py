@@ -113,6 +113,52 @@ def test_result_endpoint_serves_cached_digest():
     serve_run(body)
 
 
+def test_result_endpoint_is_immutable_cacheable_with_etag():
+    """Results are content-addressed, so GET /results/<digest> carries
+    an immutable Cache-Control plus a digest ETag, and revalidation
+    with If-None-Match short-circuits to an empty 304."""
+    async def body(host, port, service):
+        reader, writer = await open_http(host, port)
+        try:
+            _status, headers, posted = await post_job(reader, writer,
+                                                      SPEC, "alice")
+            digest = headers["x-digest"]
+
+            status, rh, body_bytes = await http_request(
+                reader, writer, "GET", f"/results/{digest}")
+            assert status == 200
+            assert body_bytes == posted
+            assert rh["etag"] == f'"{digest}"'
+            assert rh["cache-control"] == \
+                "public, max-age=31536000, immutable"
+
+            # Matching validator -> 304, no body, cache headers intact.
+            status, rh, body_bytes = await http_request(
+                reader, writer, "GET", f"/results/{digest}",
+                headers=(("If-None-Match", f'"{digest}"'),))
+            assert status == 304
+            assert body_bytes == b""
+            assert rh["etag"] == f'"{digest}"'
+            assert "immutable" in rh["cache-control"]
+
+            # Wildcard matches anything cached.
+            status, _rh, body_bytes = await http_request(
+                reader, writer, "GET", f"/results/{digest}",
+                headers=(("If-None-Match", "*"),))
+            assert status == 304
+            assert body_bytes == b""
+
+            # Stale/foreign validator -> full 200 again.
+            status, _rh, body_bytes = await http_request(
+                reader, writer, "GET", f"/results/{digest}",
+                headers=(("If-None-Match", '"' + "0" * 64 + '"'),))
+            assert status == 200
+            assert body_bytes == posted
+        finally:
+            await _close(writer)
+    serve_run(body)
+
+
 def test_async_submit_then_poll_status():
     async def body(host, port, service):
         reader, writer = await open_http(host, port)
